@@ -1,0 +1,562 @@
+package mclg
+
+// Benchmark harness: one benchmark per table/figure of the paper's
+// evaluation section plus ablations of the design choices called out in
+// DESIGN.md. Run with
+//
+//	go test -bench=. -benchmem
+//
+// Benchmarks use a small suite scale so the whole harness completes in
+// minutes; pass -benchtime=1x for a single-shot regeneration of every
+// artifact.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"mclg/internal/abacus"
+	"mclg/internal/baselines/chow"
+	"mclg/internal/baselines/wang"
+	"mclg/internal/core"
+	"mclg/internal/dense"
+	"mclg/internal/design"
+	"mclg/internal/experiments"
+	"mclg/internal/gen"
+	"mclg/internal/gp"
+	"mclg/internal/lcp"
+	"mclg/internal/metrics"
+	"mclg/internal/qp"
+	"mclg/internal/refine"
+	"mclg/internal/render"
+	"mclg/internal/sparse"
+	"mclg/internal/tetris"
+)
+
+const benchScale = 0.01
+
+// benchSuite is the benchmark subset used by the per-table benches: one
+// high-density, one medium, one large.
+var benchSuite = []string{"des_perf_1", "fft_2", "superblue19"}
+
+func genBench(b *testing.B, name string, scale float64) *design.Design {
+	b.Helper()
+	e, err := gen.FindEntry(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := gen.Generate(gen.SuiteSpec(e, scale))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d
+}
+
+// BenchmarkTable1IllegalCells regenerates Table 1: the MMSIM legalization
+// and its illegal-cell count per benchmark.
+func BenchmarkTable1IllegalCells(b *testing.B) {
+	for _, name := range benchSuite {
+		b.Run(name, func(b *testing.B) {
+			base := genBench(b, name, benchScale)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d := base.Clone()
+				stats, err := core.New(core.Options{}).Legalize(d)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(stats.Illegal), "illegal-cells")
+				b.ReportMetric(100*float64(stats.Illegal)/float64(len(d.Cells)), "illegal-%")
+			}
+		})
+	}
+}
+
+// BenchmarkTable2Legalizers regenerates Table 2: displacement / ΔHPWL /
+// runtime for the four methods.
+func BenchmarkTable2Legalizers(b *testing.B) {
+	methods := []struct {
+		name string
+		run  func(d *design.Design) error
+	}{
+		{"DAC16", chow.Legalize},
+		{"DAC16-Imp", func(d *design.Design) error { return chow.LegalizeImproved(d, chow.Options{}) }},
+		{"ASPDAC17", func(d *design.Design) error {
+			if err := wang.Legalize(d, wang.Options{}); err != nil {
+				return err
+			}
+			_, err := tetris.Allocate(d)
+			return err
+		}},
+		{"Ours", func(d *design.Design) error {
+			_, err := core.New(core.Options{}).Legalize(d)
+			return err
+		}},
+	}
+	for _, name := range benchSuite {
+		base := genBench(b, name, benchScale)
+		for _, m := range methods {
+			b.Run(fmt.Sprintf("%s/%s", name, m.name), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					d := base.Clone()
+					if err := m.run(d); err != nil {
+						b.Fatal(err)
+					}
+					disp := metrics.MeasureDisplacement(d)
+					b.ReportMetric(disp.TotalSites, "disp-sites")
+					b.ReportMetric(100*metrics.DeltaHPWL(d), "ΔHPWL-%")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkSingleRowMMSIMvsPlaceRow regenerates the Section 5.3 experiment:
+// the MMSIM and Abacus PlaceRow on the single-height suite variants.
+func BenchmarkSingleRowMMSIMvsPlaceRow(b *testing.B) {
+	for _, name := range []string{"fft_2", "superblue19"} {
+		e, err := gen.FindEntry(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		base, err := gen.Generate(gen.SingleHeightVariant(gen.SuiteSpec(e, benchScale)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := core.AssignRows(base); err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name+"/MMSIM", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				d := base.Clone()
+				p, err := core.BuildProblem(d, 1000)
+				if err != nil {
+					b.Fatal(err)
+				}
+				x, _, err := core.SolveMMSIM(p, core.New(core.Options{Eps: 1e-6}).Opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				core.Restore(p, x)
+			}
+		})
+		b.Run(name+"/PlaceRow", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				d := base.Clone()
+				if err := abacus.PlaceRowsAssigned(d, true); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkLambdaSweep is the E7 ablation: the subcell penalty λ vs.
+// solver effort and residual mismatch.
+func BenchmarkLambdaSweep(b *testing.B) {
+	base := genBench(b, "fft_1", benchScale)
+	for _, lambda := range []float64{1, 100, 1000, 10000} {
+		b.Run(fmt.Sprintf("lambda=%g", lambda), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				d := base.Clone()
+				stats, err := core.New(core.Options{Lambda: lambda}).Legalize(d)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(stats.MaxSubcellMismatch, "mismatch")
+				b.ReportMetric(float64(stats.Iterations), "iterations")
+			}
+		})
+	}
+}
+
+// BenchmarkSolverComparison is the E8 ablation: MMSIM vs. Lemke vs. PGS vs.
+// active-set QP on random strictly-diagonally-dominant LCPs.
+func BenchmarkSolverComparison(b *testing.B) {
+	n := 60
+	rng := rand.New(rand.NewSource(77))
+	// SPD, strictly diagonally dominant A.
+	ad := dense.New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			v := rng.NormFloat64() * 0.3
+			ad.Set(i, j, v)
+			ad.Set(j, i, v)
+		}
+	}
+	for i := 0; i < n; i++ {
+		s := 1.0
+		for j := 0; j < n; j++ {
+			if j != i {
+				s += abs(ad.At(i, j))
+			}
+		}
+		ad.Set(i, i, s)
+	}
+	q := make([]float64, n)
+	for i := range q {
+		q[i] = rng.NormFloat64() * 3
+	}
+	sb := sparse.NewBuilder(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if v := ad.At(i, j); v != 0 {
+				sb.Add(i, j, v)
+			}
+		}
+	}
+	prob := &lcp.Problem{A: sb.Build(), Q: q}
+
+	b.Run("MMSIM", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sp, err := lcp.NewDiagSplitting(prob.A, 0.9)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := lcp.MMSIM(prob, sp, lcp.Options{Eps: 1e-10}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Lemke", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := lcp.Lemke(ad, q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("PGS", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := lcp.PGS(ad, q, 1e-10, 100000); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("ActiveSetQP", func(b *testing.B) {
+		// Equivalent bound-constrained QP: min ½xᵀAx + qᵀx s.t. x >= 0.
+		g := dense.New(n, n)
+		for i := 0; i < n; i++ {
+			g.Set(i, i, 1)
+		}
+		p := &qp.Problem{H: ad, P: q, G: g, Hv: make([]float64, n)}
+		x0 := make([]float64, n)
+		for i := range x0 {
+			x0[i] = 1
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := qp.Solve(p, x0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkOmegaAblation compares the paper's Ω = I against the scaled
+// variants on a mixed-height instance (DESIGN.md "key design decisions").
+func BenchmarkOmegaAblation(b *testing.B) {
+	base := genBench(b, "fft_2", benchScale)
+	cases := []struct {
+		name string
+		opts core.Options
+	}{
+		{"paper-omega-I", core.Options{PaperOmega: true}},
+		{"omegaR-0.01", core.Options{OmegaR: 0.01}},
+		{"scaled-omegaX", core.Options{ScaledOmegaX: true}},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				d := base.Clone()
+				stats, err := core.New(tc.opts).Legalize(d)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(stats.Iterations), "iterations")
+			}
+		})
+	}
+}
+
+// BenchmarkWarmStartAblation measures the warm start from GP positions
+// against the cold (zero) start of a literal Algorithm 1 reading.
+func BenchmarkWarmStartAblation(b *testing.B) {
+	base := genBench(b, "superblue19", benchScale)
+	for _, tc := range []struct {
+		name string
+		opts core.Options
+	}{
+		{"warm", core.Options{}},
+		{"cold", core.Options{ColdStart: true}},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				d := base.Clone()
+				stats, err := core.New(tc.opts).Legalize(d)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(stats.Iterations), "iterations")
+			}
+		})
+	}
+}
+
+// BenchmarkSchurAblation compares the tridiagonal Schur approximation D
+// against a diagonal-only approximation (DESIGN.md ablation: D = diag vs
+// tridiag). The diagonal variant reuses the generic diagonal splitting on
+// the assembled LCP matrix.
+func BenchmarkSchurAblation(b *testing.B) {
+	base := genBench(b, "fft_2", benchScale)
+	b.Run("tridiag-D", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			d := base.Clone()
+			stats, err := core.New(core.Options{}).Legalize(d)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(stats.Iterations), "iterations")
+		}
+	})
+	b.Run("structured-build-only", func(b *testing.B) {
+		d := base.Clone()
+		if err := core.AssignRows(d); err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			p, err := core.BuildProblem(d, 1000)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := core.NewStructuredSplitting(p, 0.5, 0.5); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkFigure5Render regenerates the Figure 5 artifact: legalize fft_2
+// and render the layout with displacement vectors to SVG.
+func BenchmarkFigure5Render(b *testing.B) {
+	base := genBench(b, "fft_2", benchScale)
+	d := base.Clone()
+	if _, err := core.New(core.Options{}).Legalize(d); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var sink countingWriter
+		if err := render.SVG(d, &sink, render.Options{Displacement: true}); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(sink), "svg-bytes")
+	}
+}
+
+// BenchmarkTetrisAllocate isolates the Tetris-like allocation stage.
+func BenchmarkTetrisAllocate(b *testing.B) {
+	base := genBench(b, "superblue19", benchScale)
+	pre := base.Clone()
+	if _, err := core.New(core.Options{SkipTetris: true}).Legalize(pre); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := pre.Clone()
+		if _, err := tetris.Allocate(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMMSIMIteration measures the per-iteration cost of the structured
+// splitting (the O(n) claim of DESIGN.md).
+func BenchmarkMMSIMIteration(b *testing.B) {
+	for _, name := range []string{"fft_2", "superblue19"} {
+		b.Run(name, func(b *testing.B) {
+			d := genBench(b, name, benchScale)
+			if err := core.AssignRows(d); err != nil {
+				b.Fatal(err)
+			}
+			p, err := core.BuildProblem(d, 1000)
+			if err != nil {
+				b.Fatal(err)
+			}
+			iters := 0
+			opts := core.New(core.Options{}).Opts
+			opts.MaxIter = 0
+			opts.OnIter = func(k int, dz float64) { iters++ }
+			b.ResetTimer()
+			// One full solve per b.N batch; report time per iteration.
+			for i := 0; i < b.N; i++ {
+				if _, _, err := core.SolveMMSIM(p, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if iters > 0 {
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(iters), "ns/iter")
+			}
+		})
+	}
+}
+
+// BenchmarkGenerateSuite measures the synthetic benchmark generator.
+func BenchmarkGenerateSuite(b *testing.B) {
+	e, err := gen.FindEntry("superblue19")
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := gen.SuiteSpec(e, benchScale)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := gen.Generate(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExperimentsTable1 runs the full Table 1 harness at a tiny scale
+// as an end-to-end smoke benchmark.
+func BenchmarkExperimentsTable1(b *testing.B) {
+	cfg := experiments.Config{Scale: 0.002, Benchmarks: []string{"fft_2", "pci_bridge32_b"}}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table1(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+type countingWriter int
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	*w += countingWriter(len(p))
+	return len(p), nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// BenchmarkRefine measures the MrDP-style detailed-placement extension on a
+// legalized design (extension beyond the paper; see internal/refine).
+func BenchmarkRefine(b *testing.B) {
+	base := genBench(b, "fft_2", benchScale)
+	legal := base.Clone()
+	if _, err := core.New(core.Options{}).Legalize(legal); err != nil {
+		b.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		obj  refine.Objective
+	}{
+		{"displacement", refine.Displacement},
+		{"hpwl", refine.HPWL},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				d := legal.Clone()
+				res, err := refine.Refine(d, refine.Options{Objective: tc.obj})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Initial > 0 {
+					b.ReportMetric(100*(res.Initial-res.Final)/res.Initial, "improvement-%")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkNoiseSensitivity runs the E9 crossover sweep: how the method
+// ranking changes as the global placement degrades.
+func BenchmarkNoiseSensitivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.NoiseSensitivity("fft_2", 0.004, []float64{0.5, 2, 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r := rows[len(rows)-1]; r.Disp[experiments.MethodOurs] > 0 {
+			b.ReportMetric(r.Disp[experiments.MethodOurs]/r.Disp[experiments.MethodASPDAC17],
+				"ours/aspdac-at-8x-noise")
+		}
+	}
+}
+
+// BenchmarkGlobalPlace measures the analytic global placer substrate.
+func BenchmarkGlobalPlace(b *testing.B) {
+	e, err := gen.FindEntry("fft_2")
+	if err != nil {
+		b.Fatal(err)
+	}
+	base, err := gen.Generate(gen.SuiteSpec(e, benchScale))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, c := range base.Cells {
+		c.GX, c.GY = base.Core.Center().X, base.Core.Center().Y
+		c.X, c.Y = c.GX, c.GY
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := base.Clone()
+		res, err := gp.Place(d, gp.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Overflow, "overflow")
+		b.ReportMetric(float64(res.CGIters), "cg-iters")
+	}
+}
+
+// BenchmarkBoundaryMode compares the paper's relaxed-boundary flow against
+// the exact right-boundary extension on a dense design.
+func BenchmarkBoundaryMode(b *testing.B) {
+	base := genBench(b, "des_perf_1", benchScale)
+	for _, tc := range []struct {
+		name string
+		opts core.Options
+	}{
+		{"relaxed-paper", core.Options{}},
+		{"bound-right", core.Options{BoundRight: true}},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				d := base.Clone()
+				stats, err := core.New(tc.opts).Legalize(d)
+				if err != nil {
+					b.Fatal(err)
+				}
+				disp := metrics.MeasureDisplacement(d)
+				b.ReportMetric(disp.TotalSites, "disp-sites")
+				b.ReportMetric(float64(stats.Illegal), "illegal-cells")
+			}
+		})
+	}
+}
+
+// BenchmarkScaleSweep documents how MMSIM iteration count and wall time
+// grow with instance size (the runtime-shape deviation EXPERIMENTS.md
+// discusses): per-iteration cost is O(n), but the iteration count grows
+// with row length because multiplier information diffuses along constraint
+// chains.
+func BenchmarkScaleSweep(b *testing.B) {
+	for _, scale := range []float64{0.005, 0.01, 0.02, 0.04} {
+		b.Run(fmt.Sprintf("scale=%g", scale), func(b *testing.B) {
+			base := genBench(b, "fft_2", scale)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d := base.Clone()
+				stats, err := core.New(core.Options{}).Legalize(d)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(stats.Iterations), "iterations")
+				b.ReportMetric(float64(stats.NumVars), "vars")
+			}
+		})
+	}
+}

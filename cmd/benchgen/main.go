@@ -1,0 +1,60 @@
+// Command benchgen materializes the synthetic benchmark suite as Bookshelf
+// files, one directory per benchmark.
+//
+//	benchgen -out ./bench -scale 0.01
+//	benchgen -out ./bench -bench fft_2 -scale 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"mclg/internal/bookshelf"
+	"mclg/internal/gen"
+)
+
+func main() {
+	var (
+		outDir = flag.String("out", "bench", "output directory")
+		scale  = flag.Float64("scale", 0.01, "suite scale factor (1 = paper-size)")
+		bench  = flag.String("bench", "", "single benchmark name (default: whole suite)")
+		single = flag.Bool("single", false, "emit the single-height variants (Section 5.3)")
+	)
+	flag.Parse()
+
+	entries := gen.Suite
+	if *bench != "" {
+		e, err := gen.FindEntry(*bench)
+		if err != nil {
+			fatal(err)
+		}
+		entries = []gen.SuiteEntry{e}
+	}
+	for _, e := range entries {
+		spec := gen.SuiteSpec(e, *scale)
+		if *single {
+			spec = gen.SingleHeightVariant(spec)
+		}
+		d, err := gen.Generate(spec)
+		if err != nil {
+			fatal(err)
+		}
+		dir := filepath.Join(*outDir, spec.Name)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			fatal(err)
+		}
+		aux := filepath.Join(dir, spec.Name+".aux")
+		if err := bookshelf.Write(d, aux); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-24s %8d cells  %4d rows  density %.2f  -> %s\n",
+			spec.Name, len(d.Cells), len(d.Rows), d.Density(), aux)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgen:", err)
+	os.Exit(2)
+}

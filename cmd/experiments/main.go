@@ -1,0 +1,110 @@
+// Command experiments regenerates the paper's evaluation tables on the
+// synthetic suite and prints them in the paper's layout.
+//
+//	experiments -table1 -scale 0.01
+//	experiments -table2 -bench fft_2,des_perf_b
+//	experiments -single            # Section 5.3 optimality experiment
+//	experiments -all -scale 0.02
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mclg/internal/core"
+	"mclg/internal/experiments"
+)
+
+func main() {
+	var (
+		table1   = flag.Bool("table1", false, "run Table 1 (illegal cells after MMSIM)")
+		table2   = flag.Bool("table2", false, "run Table 2 (legalizer comparison)")
+		single   = flag.Bool("single", false, "run the Section 5.3 single-height experiment")
+		noise    = flag.Bool("noise", false, "run the GP-noise sensitivity sweep (E9)")
+		converge = flag.String("converge", "", "record an MMSIM convergence trace for the named benchmark")
+		params   = flag.Bool("params", false, "sweep the β*/θ* splitting constants")
+		all      = flag.Bool("all", false, "run everything")
+		scale    = flag.Float64("scale", 0.01, "suite scale factor (1 = paper-size)")
+		bench    = flag.String("bench", "", "comma-separated benchmark subset")
+	)
+	flag.Parse()
+
+	if !*table1 && !*table2 && !*single && !*noise && !*params && *converge == "" && !*all {
+		*all = true
+	}
+	cfg := experiments.Config{Scale: *scale}
+	if *bench != "" {
+		cfg.Benchmarks = strings.Split(*bench, ",")
+	}
+
+	if *table1 || *all {
+		fmt.Printf("=== Table 1: benchmark statistics and illegal cells after MMSIM (scale %g) ===\n", *scale)
+		rows, err := experiments.Table1(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(experiments.FormatTable1(rows))
+		fmt.Println()
+	}
+	if *table2 || *all {
+		fmt.Printf("=== Table 2: legalizer comparison (scale %g) ===\n", *scale)
+		rows, err := experiments.Table2(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(experiments.FormatTable2(rows))
+		fmt.Println()
+	}
+	if *single || *all {
+		fmt.Printf("=== Section 5.3: MMSIM vs PlaceRow on single-height designs (scale %g) ===\n", *scale)
+		rows, err := experiments.SingleRow(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(experiments.FormatSingleRow(rows))
+		fmt.Println()
+	}
+	if *noise || *all {
+		name := "fft_2"
+		if len(cfg.Benchmarks) > 0 {
+			name = cfg.Benchmarks[0]
+		}
+		fmt.Printf("=== E9: GP-noise sensitivity on %s (scale %g) ===\n", name, *scale)
+		rows, err := experiments.NoiseSensitivity(name, *scale, []float64{0.25, 0.5, 1, 2, 4, 8})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(experiments.FormatNoise(rows))
+		fmt.Println()
+	}
+	if *params {
+		name := "fft_2"
+		if len(cfg.Benchmarks) > 0 {
+			name = cfg.Benchmarks[0]
+		}
+		betas := []float64{0.25, 0.5, 0.75, 1.0, 1.25}
+		thetas := []float64{0.25, 0.5, 1.0, 1.5, 2.0}
+		fmt.Printf("=== β*/θ* sweep on %s (scale %g, iterations to converge) ===\n", name, *scale)
+		pts, err := experiments.ParamSweep(name, *scale, betas, thetas)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(experiments.FormatParamSweep(pts, betas, thetas))
+		fmt.Println()
+	}
+	if *converge != "" {
+		fmt.Printf("=== MMSIM convergence trace: %s (scale %g) ===\n", *converge, *scale)
+		trace, err := experiments.ConvergenceTrace(*converge, *scale, core.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(experiments.FormatConvergence(trace, false))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(2)
+}

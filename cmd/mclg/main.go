@@ -1,0 +1,197 @@
+// Command mclg legalizes a mixed-cell-height placement.
+//
+// Input is either a Bookshelf .aux file (-aux) or a named benchmark from
+// the synthetic suite (-bench, with -scale). The legalized placement can be
+// written back as Bookshelf (-out) and quality metrics are printed.
+//
+//	mclg -bench fft_2 -scale 0.01
+//	mclg -aux design.aux -method ours -out legal.aux
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mclg/internal/baselines/chow"
+	"mclg/internal/baselines/wang"
+	"mclg/internal/bookshelf"
+	"mclg/internal/core"
+	"mclg/internal/design"
+	"mclg/internal/gen"
+	"mclg/internal/gp"
+	"mclg/internal/metrics"
+	"mclg/internal/refine"
+	"mclg/internal/tetris"
+)
+
+func main() {
+	var (
+		auxPath    = flag.String("aux", "", "Bookshelf .aux input file")
+		benchName  = flag.String("bench", "", "synthetic suite benchmark name (e.g. fft_2)")
+		scale      = flag.Float64("scale", 0.01, "suite scale factor (1 = paper-size)")
+		method     = flag.String("method", "ours", "legalizer: ours | dac16 | dac16imp | aspdac17")
+		outPath    = flag.String("out", "", "write legalized placement as Bookshelf .aux")
+		lambda     = flag.Float64("lambda", 1000, "subcell equality penalty λ")
+		beta       = flag.Float64("beta", 0.5, "MMSIM splitting constant β*")
+		theta      = flag.Float64("theta", 0.5, "MMSIM splitting constant θ*")
+		eps        = flag.Float64("eps", 1e-4, "MMSIM convergence tolerance")
+		autoTheta  = flag.Bool("autotheta", false, "clamp θ* below the Theorem-2 bound")
+		refineObj  = flag.String("refine", "", "post-legalization refinement objective: disp | hpwl")
+		checkOnly  = flag.Bool("check", false, "only check legality of the input placement and exit")
+		boundRight = flag.Bool("boundright", false, "solve with exact right-boundary constraints (extension)")
+		runGP      = flag.Bool("gp", false, "re-derive the global placement from the netlist (internal/gp) before legalizing")
+		verbose    = flag.Bool("v", false, "print per-stage details")
+	)
+	flag.Parse()
+
+	d, err := loadDesign(*auxPath, *benchName, *scale)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("design %s: %d cells (%d multi-row), %d rows, density %.2f\n",
+		d.Name, len(d.Cells), countMulti(d), len(d.Rows), d.Density())
+
+	if *runGP {
+		res, err := gp.Place(d, gp.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("global placement: %d rounds, %d CG iterations, overflow %.3f\n",
+			res.Iterations, res.CGIters, res.Overflow)
+	}
+
+	if *checkOnly {
+		rep := design.CheckLegal(d)
+		fmt.Printf("legality: %s\n", rep)
+		for i, v := range rep.Violations {
+			if i >= 20 {
+				fmt.Printf("  ... %d more\n", len(rep.Violations)-20)
+				break
+			}
+			fmt.Printf("  %s\n", v)
+		}
+		if !rep.Legal() {
+			os.Exit(1)
+		}
+		return
+	}
+
+	gpHPWL := metrics.HPWLGlobal(d)
+	t0 := time.Now()
+	switch *method {
+	case "ours":
+		opts := core.Options{Lambda: *lambda, Beta: *beta, Theta: *theta, Eps: *eps,
+			AutoTheta: *autoTheta, BoundRight: *boundRight}
+		stats, err := core.New(opts).Legalize(d)
+		if err != nil {
+			fatal(err)
+		}
+		if *verbose {
+			fmt.Printf("  vars=%d cons=%d iters=%d converged=%v\n",
+				stats.NumVars, stats.NumCons, stats.Iterations, stats.Converged)
+			fmt.Printf("  subcell mismatch=%.4g illegal=%d unplaced=%d\n",
+				stats.MaxSubcellMismatch, stats.Illegal, stats.Unplaced)
+			fmt.Printf("  build=%v solve=%v tetris=%v\n",
+				stats.BuildTime, stats.SolveTime, stats.TetrisTime)
+		}
+	case "dac16":
+		if err := chow.Legalize(d); err != nil {
+			fatal(err)
+		}
+	case "dac16imp":
+		if err := chow.LegalizeImproved(d, chow.Options{}); err != nil {
+			fatal(err)
+		}
+	case "aspdac17":
+		if err := wang.Legalize(d, wang.Options{}); err != nil {
+			fatal(err)
+		}
+		if _, err := tetris.Allocate(d); err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("unknown method %q", *method))
+	}
+	if *refineObj != "" {
+		obj := refine.Displacement
+		if *refineObj == "hpwl" {
+			obj = refine.HPWL
+		} else if *refineObj != "disp" {
+			fatal(fmt.Errorf("unknown refine objective %q", *refineObj))
+		}
+		res, err := refine.Refine(d, refine.Options{Objective: obj})
+		if err != nil {
+			fatal(err)
+		}
+		if *verbose {
+			fmt.Printf("  refine: %d slides, %d swaps, objective %.4g -> %.4g\n",
+				res.Slides, res.Swaps, res.Initial, res.Final)
+		}
+	}
+	elapsed := time.Since(t0)
+
+	disp := metrics.MeasureDisplacement(d)
+	rep := design.CheckLegal(d)
+	fmt.Printf("method=%s runtime=%v\n", *method, elapsed)
+	fmt.Printf("total displacement: %.0f sites (max %.0f, avg %.2f)\n",
+		disp.TotalSites, disp.MaxSites, disp.TotalSites/float64(max(1, len(d.Cells))))
+	if gpHPWL > 0 {
+		fmt.Printf("HPWL: %.4g -> %.4g (ΔHPWL %.2f%%)\n",
+			gpHPWL, metrics.HPWL(d), 100*metrics.DeltaHPWL(d))
+	}
+	fmt.Printf("legality: %s\n", rep)
+
+	if *outPath != "" {
+		// Store the legalized positions as the .pl positions.
+		out := d.Clone()
+		for _, c := range out.Cells {
+			c.GX, c.GY = c.X, c.Y
+		}
+		if err := bookshelf.Write(out, *outPath); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *outPath)
+	}
+	if !rep.Legal() {
+		os.Exit(1)
+	}
+}
+
+func loadDesign(aux, bench string, scale float64) (*design.Design, error) {
+	switch {
+	case aux != "":
+		return bookshelf.Read(aux)
+	case bench != "":
+		e, err := gen.FindEntry(bench)
+		if err != nil {
+			return nil, err
+		}
+		return gen.Generate(gen.SuiteSpec(e, scale))
+	default:
+		return nil, fmt.Errorf("one of -aux or -bench is required")
+	}
+}
+
+func countMulti(d *design.Design) int {
+	n := 0
+	for _, c := range d.Cells {
+		if c.RowSpan > 1 {
+			n++
+		}
+	}
+	return n
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mclg:", err)
+	os.Exit(2)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,86 @@
+// Command renderlayout draws a placement as SVG in the style of the
+// paper's Figure 5: cells blue, displacement vectors red.
+//
+//	renderlayout -bench fft_2 -legalize -out fft_2.svg
+//	renderlayout -aux design.aux -out layout.svg -window 0,0,200,100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"mclg/internal/bookshelf"
+	"mclg/internal/core"
+	"mclg/internal/design"
+	"mclg/internal/gen"
+	"mclg/internal/render"
+)
+
+func main() {
+	var (
+		auxPath  = flag.String("aux", "", "Bookshelf .aux input file")
+		bench    = flag.String("bench", "", "synthetic suite benchmark name")
+		scale    = flag.Float64("scale", 0.01, "suite scale factor")
+		legalize = flag.Bool("legalize", false, "run the MMSIM legalizer before rendering")
+		outPath  = flag.String("out", "layout.svg", "output SVG path")
+		widthPx  = flag.Float64("width", 1200, "output width in pixels")
+		window   = flag.String("window", "", "x0,y0,x1,y1 sub-window in design units")
+		noDisp   = flag.Bool("nodisp", false, "suppress displacement vectors")
+		nets     = flag.Bool("nets", false, "draw nets as centroid stars")
+	)
+	flag.Parse()
+
+	var d *design.Design
+	var err error
+	switch {
+	case *auxPath != "":
+		d, err = bookshelf.Read(*auxPath)
+	case *bench != "":
+		var e gen.SuiteEntry
+		if e, err = gen.FindEntry(*bench); err == nil {
+			d, err = gen.Generate(gen.SuiteSpec(e, *scale))
+		}
+	default:
+		err = fmt.Errorf("one of -aux or -bench is required")
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	if *legalize {
+		stats, err := core.New(core.Options{}).Legalize(d)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("legalized: %d illegal repaired, %d iterations\n", stats.Illegal, stats.Iterations)
+	}
+
+	opts := render.Options{WidthPx: *widthPx, Displacement: !*noDisp, Nets: *nets}
+	if *window != "" {
+		parts := strings.Split(*window, ",")
+		if len(parts) != 4 {
+			fatal(fmt.Errorf("window must be x0,y0,x1,y1"))
+		}
+		vals := make([]float64, 4)
+		for i, p := range parts {
+			v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+			if err != nil {
+				fatal(err)
+			}
+			vals[i] = v
+		}
+		opts.Window.X0, opts.Window.Y0, opts.Window.X1, opts.Window.Y1 = vals[0], vals[1], vals[2], vals[3]
+	}
+	if err := render.SVGFile(d, *outPath, opts); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *outPath)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "renderlayout:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,20 @@
+// Package mclg reproduces "Toward Optimal Legalization for Mixed-Cell-Height
+// Circuit Designs" (Chen, Zhu, Zhu, Chang — DAC 2017): a mixed-cell-height
+// standard-cell legalizer that converts the fixed-ordering relaxation of the
+// legalization problem into a linear complementarity problem and solves it
+// with a modulus-based matrix splitting iteration method (MMSIM), followed
+// by a Tetris-like allocation that snaps cells to placement sites.
+//
+// The public surface lives in the internal packages (this repository is a
+// self-contained reproduction, not a library for import); the binaries under
+// cmd/ and the programs under examples/ are the intended entry points:
+//
+//	cmd/mclg          legalize a Bookshelf design or a synthetic benchmark
+//	cmd/benchgen      materialize the synthetic suite as Bookshelf files
+//	cmd/experiments   regenerate the paper's Table 1 / Table 2 / §5.3
+//	cmd/renderlayout  draw a placement as SVG (Figure 5 style)
+//
+// The benchmarks in bench_test.go regenerate every table and figure of the
+// paper's evaluation section; see EXPERIMENTS.md for measured-vs-paper
+// numbers.
+package mclg

@@ -1,0 +1,110 @@
+package mclg
+
+// End-to-end tests that build and run the actual command-line binaries.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildCmd compiles one of the cmd/ binaries into a temp dir and returns
+// the executable path.
+func buildCmd(t *testing.T, name string) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), name)
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("building %s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+func run(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", filepath.Base(bin), args, err, out)
+	}
+	return string(out)
+}
+
+func TestE2EMclgLegalizesBenchmark(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	bin := buildCmd(t, "mclg")
+	out := run(t, bin, "-bench", "fft_2", "-scale", "0.004", "-v")
+	if !strings.Contains(out, "legality: legal") {
+		t.Errorf("output missing legality line:\n%s", out)
+	}
+	if !strings.Contains(out, "converged=true") {
+		t.Errorf("MMSIM did not converge:\n%s", out)
+	}
+	// Every method must produce a legal result on the same input.
+	for _, m := range []string{"dac16", "dac16imp", "aspdac17"} {
+		out := run(t, bin, "-bench", "fft_2", "-scale", "0.004", "-method", m)
+		if !strings.Contains(out, "legality: legal") {
+			t.Errorf("method %s: output missing legality line:\n%s", m, out)
+		}
+	}
+}
+
+func TestE2EBenchgenRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	benchgen := buildCmd(t, "benchgen")
+	mclg := buildCmd(t, "mclg")
+	dir := t.TempDir()
+	out := run(t, benchgen, "-out", dir, "-bench", "pci_bridge32_b", "-scale", "0.01")
+	if !strings.Contains(out, "pci_bridge32_b") {
+		t.Fatalf("benchgen output:\n%s", out)
+	}
+	aux := filepath.Join(dir, "pci_bridge32_b", "pci_bridge32_b.aux")
+	if _, err := os.Stat(aux); err != nil {
+		t.Fatal(err)
+	}
+	// Legalize the written Bookshelf files and export the result.
+	outAux := filepath.Join(dir, "legal.aux")
+	out = run(t, mclg, "-aux", aux, "-out", outAux)
+	if !strings.Contains(out, "legality: legal") {
+		t.Errorf("legalizing bookshelf failed:\n%s", out)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "legal.pl")); err != nil {
+		t.Error("legalized .pl not written")
+	}
+}
+
+func TestE2ERenderLayout(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	bin := buildCmd(t, "renderlayout")
+	svg := filepath.Join(t.TempDir(), "out.svg")
+	out := run(t, bin, "-bench", "fft_2", "-scale", "0.004", "-legalize", "-out", svg)
+	if !strings.Contains(out, "wrote") {
+		t.Fatalf("renderlayout output:\n%s", out)
+	}
+	data, err := os.ReadFile(svg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "<svg") {
+		t.Error("output is not an SVG")
+	}
+}
+
+func TestE2EExperimentsSubset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	bin := buildCmd(t, "experiments")
+	out := run(t, bin, "-single", "-scale", "0.004", "-bench", "fft_2")
+	if !strings.Contains(out, "runtime ratio") {
+		t.Errorf("experiments output:\n%s", out)
+	}
+}

@@ -1,0 +1,65 @@
+// Detailed-placement extension: after legalization, run the MrDP-style
+// refinement stage (internal/refine) with both objectives and compare.
+// This reproduces the pipeline of the paper's follow-on work (Lin et al.,
+// ICCAD 2016), which chains the DAC'16 legalizer with a detailed placer.
+//
+//	go run ./examples/detailedplace
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mclg/internal/core"
+	"mclg/internal/design"
+	"mclg/internal/gen"
+	"mclg/internal/metrics"
+	"mclg/internal/refine"
+)
+
+func main() {
+	e, err := gen.FindEntry("fft_2")
+	if err != nil {
+		log.Fatal(err)
+	}
+	base, err := gen.Generate(gen.SuiteSpec(e, 0.02))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("benchmark %s at 2%% scale: %d cells, %d nets\n\n",
+		e.Name, len(base.Cells), len(base.Nets))
+
+	for _, tc := range []struct {
+		name string
+		obj  refine.Objective
+	}{
+		{"displacement", refine.Displacement},
+		{"wirelength (HPWL)", refine.HPWL},
+	} {
+		d := base.Clone()
+		if _, err := core.New(core.Options{}).Legalize(d); err != nil {
+			log.Fatal(err)
+		}
+		dispBefore := metrics.MeasureDisplacement(d).TotalSites
+		hpwlBefore := metrics.HPWL(d)
+
+		res, err := refine.Refine(d, refine.Options{Objective: tc.obj})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if rep := design.CheckLegal(d); !rep.Legal() {
+			log.Fatalf("refinement broke legality: %v", rep)
+		}
+		dispAfter := metrics.MeasureDisplacement(d).TotalSites
+		hpwlAfter := metrics.HPWL(d)
+
+		fmt.Printf("objective: %s\n", tc.name)
+		fmt.Printf("  %d slides, %d swaps over %d passes\n", res.Slides, res.Swaps, res.Passes)
+		fmt.Printf("  displacement: %8.0f -> %8.0f sites\n", dispBefore, dispAfter)
+		fmt.Printf("  HPWL:         %8.0f -> %8.0f\n\n", hpwlBefore, hpwlAfter)
+	}
+	fmt.Println("note the trade-off: optimizing wirelength moves cells away from")
+	fmt.Println("their global-placement positions, and vice versa — which is why the")
+	fmt.Println("paper treats legalization (min displacement) and detailed placement")
+	fmt.Println("(min wirelength) as separate stages.")
+}

@@ -1,0 +1,73 @@
+// Power-rail alignment (the Figure 1 scenario): odd-row-height cells can go
+// to any row by flipping vertically, but an even-row-height cell must start
+// on a row whose bottom rail matches its designed bottom rail — a mismatch
+// cannot be fixed by flipping.
+//
+// This example places three cells like Figure 1's A (single), B (double,
+// VSS bottom), and C (triple) near rows that do NOT match, and shows how
+// the legalizer resolves each case.
+//
+//	go run ./examples/powerrail
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mclg/internal/core"
+	"mclg/internal/design"
+)
+
+func main() {
+	d := design.NewDesign(design.Config{
+		Name:      "figure1",
+		NumRows:   6,
+		NumSites:  60,
+		RowHeight: 10,
+		SiteW:     1,
+	})
+	fmt.Println("rows and rails:")
+	for _, r := range d.Rows {
+		fmt.Printf("  row %d: y=%2.0f bottom rail %v\n", r.Index, r.Y, r.Rail)
+	}
+
+	// A: single-height cell designed for a VSS bottom, dropped near row 1
+	// (a VDD row) — fixed by vertical flipping.
+	a := d.AddCell("A", 8, 10, design.VSS)
+	a.GX, a.GY = 5, 11
+
+	// B: double-height cell with a VSS bottom, dropped near row 1 (VDD).
+	// Flipping cannot help; it must move to a VSS row (0 or 2).
+	b := d.AddCell("B", 6, 20, design.VSS)
+	b.GX, b.GY = 20, 12
+
+	// B2: double-height cell with a VDD bottom, dropped near row 2 (VSS).
+	// It must move to a VDD row (1 or 3).
+	b2 := d.AddCell("B2", 6, 20, design.VDD)
+	b2.GX, b2.GY = 35, 21
+
+	// C: triple-height cell — odd span, any row works with flipping.
+	c := d.AddCell("C", 7, 30, design.VDD)
+	c.GX, c.GY = 48, 13
+
+	for _, cell := range d.Cells {
+		cell.X, cell.Y = cell.GX, cell.GY
+	}
+
+	if _, err := core.New(core.Options{}).Legalize(d); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nlegalized:")
+	for _, cell := range d.Cells {
+		row := d.RowAt(cell.Y + 1)
+		fmt.Printf("  %-3s span %d bottom %v -> row %d (rail %v), y=%2.0f, flipped=%v\n",
+			cell.Name, cell.RowSpan, cell.BottomRail, row, d.Rows[row].Rail, cell.Y, cell.Flipped)
+	}
+
+	rep := design.CheckLegal(d)
+	fmt.Printf("\nlegality: %s\n", rep)
+	if rep.Count(design.VRailMismatch) != 0 {
+		log.Fatal("rail mismatch survived — this should never happen")
+	}
+}

@@ -1,0 +1,3 @@
+module mclg
+
+go 1.22

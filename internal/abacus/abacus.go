@@ -1,0 +1,288 @@
+// Package abacus implements the Abacus legalizer of Spindler, Schlichtmann
+// and Johannes (ISPD 2008) for single-row-height standard cells: the
+// PlaceRow cluster-collapse dynamic program that optimally positions an
+// ordered row of cells minimizing Σ e_i (x_i − x'_i)², and the full
+// legalizer that inserts cells into their best row by trial PlaceRow cost.
+//
+// The paper under reproduction uses PlaceRow two ways: Section 5.3 swaps it
+// in for the MMSIM on single-height designs to validate MMSIM optimality
+// (both are optimal for fixed ordering, so displacements must agree), and
+// the ASP-DAC'17 baseline builds on Abacus-style insertion.
+package abacus
+
+import (
+	"math"
+	"sort"
+
+	"mclg/internal/design"
+)
+
+// Entry is one cell in a row for PlaceRow: target position, width, weight.
+type Entry struct {
+	Target float64 // desired x (global placement)
+	Width  float64
+	Weight float64 // e_i; typically 1 or the cell area
+}
+
+// PlaceRow optimally places the ordered entries in [xmin, xmax), minimizing
+// Σ w_i (x_i − t_i)² subject to x_{i+1} ≥ x_i + width_i, x_0 ≥ xmin and,
+// if bounded, x_last + width_last ≤ xmax. Set xmax to +Inf to relax the
+// right boundary (the relaxation the MMSIM uses).
+//
+// Returns the optimal x positions. The input order is preserved — Abacus
+// never reorders cells within a row.
+func PlaceRow(entries []Entry, xmin, xmax float64) []float64 {
+	n := len(entries)
+	if n == 0 {
+		return nil
+	}
+	// Cluster stack: each cluster is a maximal run of abutting cells.
+	type cluster struct {
+		e, q, w float64 // weight sum, weighted target sum, total width
+		first   int     // index of first entry in cluster
+	}
+	clusters := make([]cluster, 0, n)
+
+	clamp := func(x, w float64) float64 {
+		if x < xmin {
+			x = xmin
+		}
+		if hi := xmax - w; x > hi {
+			x = hi
+		}
+		return x
+	}
+
+	for i, en := range entries {
+		// New cluster containing just entry i.
+		c := cluster{e: en.Weight, q: en.Weight * en.Target, w: en.Width, first: i}
+		// Collapse: merge with predecessor while they overlap.
+		for len(clusters) > 0 {
+			prev := clusters[len(clusters)-1]
+			prevX := clamp(prev.q/prev.e, prev.w)
+			curX := clamp(c.q/c.e, c.w)
+			if prevX+prev.w <= curX {
+				break
+			}
+			// Merge c into prev: the optimal position of the merged cluster
+			// is the weighted mean of shifted targets.
+			prev.q += c.q - c.e*prev.w
+			prev.e += c.e
+			prev.w += c.w
+			clusters = clusters[:len(clusters)-1]
+			c = prev
+		}
+		clusters = append(clusters, c)
+	}
+
+	x := make([]float64, n)
+	for k, c := range clusters {
+		end := n
+		if k+1 < len(clusters) {
+			end = clusters[k+1].first
+		}
+		pos := clamp(c.q/c.e, c.w)
+		for i := c.first; i < end; i++ {
+			x[i] = pos
+			pos += entries[i].Width
+		}
+	}
+	return x
+}
+
+// RowCost returns the optimal Σ w_i (x_i − t_i)² for the entries, reusing
+// PlaceRow.
+func RowCost(entries []Entry, xmin, xmax float64) float64 {
+	x := PlaceRow(entries, xmin, xmax)
+	s := 0.0
+	for i, en := range entries {
+		d := x[i] - en.Target
+		s += en.Weight * d * d
+	}
+	return s
+}
+
+// Options configures the full Abacus legalizer.
+type Options struct {
+	// RowSearchRange bounds how many rows above/below the nearest row are
+	// tried for each cell; 0 means all rows.
+	RowSearchRange int
+	// RelaxRight relaxes the right boundary during PlaceRow (cells are
+	// clamped afterwards); used by the §5.3 optimality experiment.
+	RelaxRight bool
+	// WeightByArea uses the cell area as the quadratic weight e_i
+	// (the original Abacus recommendation); false uses 1.
+	WeightByArea bool
+}
+
+// rowState carries the cells committed to one row during legalization.
+type rowState struct {
+	cells   []*design.Cell
+	entries []Entry
+}
+
+// Legalize runs the full Abacus on a single-row-height design: cells sorted
+// by global x, each inserted into the row minimizing the trial PlaceRow
+// cost plus vertical displacement. The design's cell positions are updated
+// (x real-valued; callers snap to sites afterwards, e.g. via tetris).
+//
+// Returns an error when the design contains multi-row cells — classic
+// Abacus does not support them (the point of the paper).
+func Legalize(d *design.Design, opts Options) error {
+	for _, c := range d.Cells {
+		if !c.Fixed && c.RowSpan != 1 {
+			return ErrMultiRow{CellID: c.ID}
+		}
+	}
+	cells := make([]*design.Cell, 0, len(d.Cells))
+	for _, c := range d.Cells {
+		if !c.Fixed {
+			cells = append(cells, c)
+		}
+	}
+	sort.Slice(cells, func(i, j int) bool {
+		if cells[i].GX != cells[j].GX {
+			return cells[i].GX < cells[j].GX
+		}
+		return cells[i].ID < cells[j].ID
+	})
+
+	rows := make([]rowState, len(d.Rows))
+	xmax := func(r int) float64 {
+		if opts.RelaxRight {
+			return math.Inf(1)
+		}
+		return d.Rows[r].XMax()
+	}
+
+	for _, c := range cells {
+		weight := 1.0
+		if opts.WeightByArea {
+			weight = c.Area()
+		}
+		en := Entry{Target: c.GX, Width: c.W, Weight: weight}
+
+		nearest := d.RowAt(c.GY + d.RowHeight/2)
+		if nearest < 0 {
+			if c.GY < d.Core.Lo.Y {
+				nearest = 0
+			} else {
+				nearest = len(d.Rows) - 1
+			}
+		}
+		bestRow, bestCost := -1, math.Inf(1)
+		lo, hi := 0, len(d.Rows)-1
+		if opts.RowSearchRange > 0 {
+			lo = nearest - opts.RowSearchRange
+			hi = nearest + opts.RowSearchRange
+		}
+		for r := lo; r <= hi; r++ {
+			if r < 0 || r >= len(d.Rows) {
+				continue
+			}
+			rs := &rows[r]
+			// Capacity check under a hard right boundary.
+			if !opts.RelaxRight {
+				used := 0.0
+				for _, e := range rs.entries {
+					used += e.Width
+				}
+				if used+c.W > d.Rows[r].Span().Len() {
+					continue
+				}
+			}
+			dy := d.RowY(r) - c.GY
+			vCost := weight * dy * dy
+			if vCost >= bestCost {
+				continue
+			}
+			trial := append(append([]Entry(nil), rs.entries...), en)
+			hCost := RowCost(trial, d.Rows[r].OriginX, xmax(r))
+			if cost := hCost + vCost; cost < bestCost {
+				bestCost, bestRow = cost, r
+			}
+		}
+		if bestRow < 0 {
+			return ErrNoRoom{CellID: c.ID}
+		}
+		rs := &rows[bestRow]
+		rs.cells = append(rs.cells, c)
+		rs.entries = append(rs.entries, en)
+		c.Y = d.RowY(bestRow)
+	}
+
+	// Final PlaceRow per row writes the x positions.
+	for r := range rows {
+		rs := &rows[r]
+		if len(rs.entries) == 0 {
+			continue
+		}
+		x := PlaceRow(rs.entries, d.Rows[r].OriginX, xmax(r))
+		for i, c := range rs.cells {
+			c.X = x[i]
+		}
+	}
+	return nil
+}
+
+// ErrMultiRow reports a multi-row cell passed to the single-height Abacus.
+type ErrMultiRow struct{ CellID int }
+
+func (e ErrMultiRow) Error() string {
+	return "abacus: cell has multi-row height; classic Abacus only handles single-row cells"
+}
+
+// ErrNoRoom reports that no row could accommodate a cell.
+type ErrNoRoom struct{ CellID int }
+
+func (e ErrNoRoom) Error() string {
+	return "abacus: no row can accommodate cell"
+}
+
+// PlaceRowsAssigned runs PlaceRow independently on every row of a design
+// whose cells are already assigned to rows (c.Y on row boundaries), exactly
+// the "replace the MMSIM solver with PlaceRow" experiment of Section 5.3.
+// Ordering within each row follows global x (ties by ID), the same order
+// the MMSIM problem construction uses.
+func PlaceRowsAssigned(d *design.Design, relaxRight bool) error {
+	type rowCells struct{ cells []*design.Cell }
+	rows := make([]rowCells, len(d.Rows))
+	for _, c := range d.Cells {
+		if c.Fixed {
+			continue
+		}
+		if c.RowSpan != 1 {
+			return ErrMultiRow{CellID: c.ID}
+		}
+		r := d.RowAt(c.Y + d.RowHeight/2)
+		if r < 0 {
+			return ErrNoRoom{CellID: c.ID}
+		}
+		rows[r].cells = append(rows[r].cells, c)
+	}
+	for r := range rows {
+		cells := rows[r].cells
+		if len(cells) == 0 {
+			continue
+		}
+		sort.Slice(cells, func(i, j int) bool {
+			if cells[i].GX != cells[j].GX {
+				return cells[i].GX < cells[j].GX
+			}
+			return cells[i].ID < cells[j].ID
+		})
+		entries := make([]Entry, len(cells))
+		for i, c := range cells {
+			entries[i] = Entry{Target: c.GX, Width: c.W, Weight: 1}
+		}
+		xmax := d.Rows[r].XMax()
+		if relaxRight {
+			xmax = math.Inf(1)
+		}
+		x := PlaceRow(entries, d.Rows[r].OriginX, xmax)
+		for i, c := range cells {
+			c.X = x[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,21 @@
+package abacus_test
+
+import (
+	"fmt"
+
+	"mclg/internal/abacus"
+)
+
+// ExamplePlaceRow shows the cluster-collapse dynamic program on three cells
+// where the middle pair overlaps: the optimum splits the movement.
+func ExamplePlaceRow() {
+	entries := []abacus.Entry{
+		{Target: 0, Width: 2, Weight: 1},
+		{Target: 5, Width: 2, Weight: 1},
+		{Target: 5, Width: 2, Weight: 1}, // wants the same spot as its neighbor
+	}
+	x := abacus.PlaceRow(entries, 0, 100)
+	fmt.Printf("%.1f %.1f %.1f\n", x[0], x[1], x[2])
+	// Output:
+	// 0.0 4.0 6.0
+}

@@ -1,0 +1,232 @@
+// Package chow reimplements the DAC'16 legalization strategy of Chow, Pui
+// and Young ("Legalization algorithm for multiple-row height standard cell
+// design") from its published description: each cell is first tried at the
+// nearest site-aligned, power-rail-matched position to its global placement;
+// if that position is occupied, a local region around it is searched and the
+// cell is placed at the nearest free run. Cells are processed one at a time,
+// so the method has a local view — the property the paper under
+// reproduction contrasts with its simultaneous MMSIM optimization.
+//
+// Two variants are provided, matching the two comparison columns of
+// Table 2:
+//
+//   - Legalize (DAC'16): the one-pass greedy.
+//   - LegalizeImproved (DAC'16-Imp): the same pass followed by iterative
+//     local refinement, modeling the authors' improved post-conference
+//     binary.
+package chow
+
+import (
+	"fmt"
+	"sort"
+
+	"mclg/internal/design"
+	"mclg/internal/tetris"
+)
+
+// Options tunes the baseline.
+type Options struct {
+	// RefinePasses is the number of refinement sweeps for
+	// LegalizeImproved; 0 means 3.
+	RefinePasses int
+}
+
+// Legalize runs the one-pass greedy legalizer (the "DAC'16" column).
+// Cells are processed in global x order; each is placed at the free
+// position nearest to its global-placement location.
+func Legalize(d *design.Design) error {
+	_, err := run(d, Options{RefinePasses: -1})
+	return err
+}
+
+// LegalizeImproved runs the greedy pass plus local refinement (the
+// "DAC'16-Imp" column).
+func LegalizeImproved(d *design.Design, opts Options) error {
+	if opts.RefinePasses == 0 {
+		opts.RefinePasses = 3
+	}
+	_, err := run(d, opts)
+	return err
+}
+
+func run(d *design.Design, opts Options) (*design.Occupancy, error) {
+	occ := design.NewOccupancy(d)
+	for _, c := range d.Cells {
+		if c.Fixed {
+			occ.BlockArea(c.ID, c.X, c.Y, c.W, c.H)
+		}
+	}
+	cells := movable(d)
+	// Process multi-row cells before singles at equal x: they are the hard
+	// ones to place, and the published algorithm prioritizes them locally.
+	sort.Slice(cells, func(i, j int) bool {
+		a, b := cells[i], cells[j]
+		if a.GX != b.GX {
+			return a.GX < b.GX
+		}
+		if a.RowSpan != b.RowSpan {
+			return a.RowSpan > b.RowSpan
+		}
+		return a.ID < b.ID
+	})
+	var failed []*design.Cell
+	for _, c := range cells {
+		row := d.NearestCorrectRow(c, c.GY)
+		if row < 0 {
+			return nil, fmt.Errorf("chow: cell %d has no compatible row", c.ID)
+		}
+		placeNearest(d, occ, c, c.GX, c.GY, 3, &failed)
+	}
+	if len(failed) > 0 {
+		// Terminal fallback for heavy fragmentation: park the stuck cells
+		// at their nearest correct rows and let the Tetris allocator repair
+		// the placement globally (it preserves the already-legal cells).
+		for _, c := range failed {
+			if row := d.NearestCorrectRow(c, c.GY); row >= 0 {
+				c.X, c.Y = c.GX, d.RowY(row)
+			}
+		}
+		if _, err := tetris.Allocate(d); err != nil {
+			return nil, fmt.Errorf("chow: fallback allocation: %w", err)
+		}
+		// The occupancy grid is stale after the global repair; rebuild it
+		// for the refinement passes.
+		occ = design.NewOccupancy(d)
+		for _, c := range d.Cells {
+			if c.Fixed {
+				occ.BlockArea(c.ID, c.X, c.Y, c.W, c.H)
+			} else if err := occ.Place(c, c.X, c.Y); err != nil {
+				return nil, fmt.Errorf("chow: rebuilding occupancy: %w", err)
+			}
+		}
+	}
+
+	for pass := 0; pass < opts.RefinePasses; pass++ {
+		if refinePass(d, occ) == 0 {
+			break
+		}
+	}
+	return occ, nil
+}
+
+// refinePass re-seats every cell at the free position nearest its global
+// location, keeping the move only when it strictly reduces squared
+// displacement. Returns the number of cells moved.
+func refinePass(d *design.Design, occ *design.Occupancy) int {
+	moved := 0
+	cells := movable(d)
+	// Worst-displaced first: they have the most to gain from the space
+	// freed by earlier moves.
+	sort.Slice(cells, func(i, j int) bool {
+		di := cells[i].DisplacementSq()
+		dj := cells[j].DisplacementSq()
+		if di != dj {
+			return di > dj
+		}
+		return cells[i].ID < cells[j].ID
+	})
+	for _, c := range cells {
+		occ.Remove(c, c.X, c.Y)
+		x, y, ok := design.NearestFree(d, occ, c, c.GX, c.GY)
+		cur := c.DisplacementSq()
+		nw := (x-c.GX)*(x-c.GX) + (y-c.GY)*(y-c.GY)
+		if ok && nw < cur-1e-12 {
+			if err := occ.Place(c, x, y); err == nil {
+				setPos(d, c, x, y)
+				moved++
+				continue
+			}
+		}
+		// Put it back.
+		if err := occ.Place(c, c.X, c.Y); err != nil {
+			// Should be impossible: the spot was just freed.
+			panic(fmt.Sprintf("chow: lost position of cell %d: %v", c.ID, err))
+		}
+	}
+	return moved
+}
+
+// placeNearest places c at the free position nearest (tx, ty). When
+// fragmentation leaves no free run — the published algorithm handles this
+// with its local-region legalization step — the cells blocking the window
+// at the target are evicted, c is placed, and the evicted cells are
+// re-placed recursively up to depth. Cells that end up without a position
+// are appended to failed.
+func placeNearest(d *design.Design, occ *design.Occupancy, c *design.Cell, tx, ty float64, depth int, failed *[]*design.Cell) {
+	if x, y, ok := design.NearestFree(d, occ, c, tx, ty); ok {
+		if err := occ.Place(c, x, y); err != nil {
+			*failed = append(*failed, c)
+			return
+		}
+		setPos(d, c, x, y)
+		return
+	}
+	if depth == 0 {
+		*failed = append(*failed, c)
+		return
+	}
+	row := d.NearestCorrectRow(c, ty)
+	if row < 0 {
+		*failed = append(*failed, c)
+		return
+	}
+	widthSites := int((c.W + d.SiteW - 1e-9) / d.SiteW)
+	s0 := d.SiteIndex(tx)
+	if s0+widthSites > d.Rows[row].NumSites {
+		s0 = d.Rows[row].NumSites - widthSites
+	}
+	if s0 < 0 {
+		*failed = append(*failed, c)
+		return
+	}
+	evictIDs := map[int]bool{}
+	for r := row; r < row+c.RowSpan; r++ {
+		for s := s0; s < s0+widthSites; s++ {
+			if id := occ.OwnerAt(r, s); id >= 0 {
+				if d.Cells[id].Fixed {
+					*failed = append(*failed, c)
+					return
+				}
+				evictIDs[id] = true
+			}
+		}
+	}
+	var evicted []*design.Cell
+	for id := range evictIDs {
+		ec := d.Cells[id]
+		occ.Remove(ec, ec.X, ec.Y)
+		evicted = append(evicted, ec)
+	}
+	sort.Slice(evicted, func(i, j int) bool { return evicted[i].ID < evicted[j].ID })
+	x := d.Rows[row].OriginX + float64(s0)*d.SiteW
+	y := d.RowY(row)
+	if err := occ.Place(c, x, y); err != nil {
+		for _, ec := range evicted {
+			_ = occ.Place(ec, ec.X, ec.Y)
+		}
+		*failed = append(*failed, c)
+		return
+	}
+	setPos(d, c, x, y)
+	for _, ec := range evicted {
+		placeNearest(d, occ, ec, ec.X, ec.Y, depth-1, failed)
+	}
+}
+
+func movable(d *design.Design) []*design.Cell {
+	out := make([]*design.Cell, 0, len(d.Cells))
+	for _, c := range d.Cells {
+		if !c.Fixed {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func setPos(d *design.Design, c *design.Cell, x, y float64) {
+	c.X, c.Y = x, y
+	row := d.RowAt(y + d.RowHeight/2)
+	if !c.EvenSpan() && row >= 0 {
+		c.Flipped = d.Rows[row].Rail != c.BottomRail
+	}
+}

@@ -1,0 +1,57 @@
+package bookshelf
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzReadFiles feeds arbitrary bytes through the three core parsers. The
+// invariant: the reader must return either a well-formed design or an
+// error — never panic and never produce a design with invalid geometry.
+func FuzzReadFiles(f *testing.F) {
+	f.Add(
+		"UCLA nodes 1.0\nNumNodes : 1\nNumTerminals : 0\n  a 4 10\n",
+		"UCLA pl 1.0\na 3 0 : N\n",
+		"UCLA scl 1.0\nNumRows : 1\nCoreRow Horizontal\n  Coordinate : 0\n  Height : 10\n  Sitewidth : 1\n  SubrowOrigin : 0  NumSites : 50\nEnd\n",
+		"UCLA nets 1.0\nNumNets : 1\nNumPins : 2\nNetDegree : 2 n\n  a I : 0 0\n  a O : 1 1\n",
+	)
+	f.Add("", "", "", "")
+	f.Add("a -1 -5\n", "a NaN Inf : N\n", "CoreRow\nEnd\n", "NetDegree : 0\n")
+	f.Add(
+		"UCLA nodes 1.0\n  a 4 10 terminal\n",
+		"a 1 2 : N /FIXED\n",
+		"CoreRow Horizontal\nCoordinate : 5\nHeight : 10\nSitewidth : 2\nSubrowOrigin : 1 NumSites : 3\nEnd\n",
+		"NetDegree : 1 solo\n  a I : 0 0\n",
+	)
+	f.Fuzz(func(t *testing.T, nodes, pl, scl, nets string) {
+		dir := t.TempDir()
+		files := Files{
+			Nodes: filepath.Join(dir, "f.nodes"),
+			Pl:    filepath.Join(dir, "f.pl"),
+			Scl:   filepath.Join(dir, "f.scl"),
+			Nets:  filepath.Join(dir, "f.nets"),
+		}
+		os.WriteFile(files.Nodes, []byte(nodes), 0o644)
+		os.WriteFile(files.Pl, []byte(pl), 0o644)
+		os.WriteFile(files.Scl, []byte(scl), 0o644)
+		os.WriteFile(files.Nets, []byte(nets), 0o644)
+		d, err := ReadFiles(files, "fuzz")
+		if err != nil {
+			return
+		}
+		if d.RowHeight <= 0 || d.SiteW <= 0 {
+			t.Fatalf("accepted degenerate geometry: h=%g sw=%g", d.RowHeight, d.SiteW)
+		}
+		if len(d.Rows) == 0 {
+			t.Fatal("accepted design with no rows")
+		}
+		for _, n := range d.Nets {
+			for _, p := range n.Pins {
+				if p.CellID >= len(d.Cells) {
+					t.Fatalf("pin references cell %d of %d", p.CellID, len(d.Cells))
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,277 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mclg/internal/dense"
+	"mclg/internal/design"
+	"mclg/internal/gen"
+	"mclg/internal/qp"
+)
+
+// TestBoundedRightNoViolations: with BoundRight the MMSIM optimum itself
+// respects the right boundary, so no boundary repairs remain.
+func TestBoundedRightNoViolations(t *testing.T) {
+	d, err := gen.Generate(gen.Spec{
+		Name: "b", SingleCells: 400, DoubleCells: 40, Density: 0.88, Seed: 33,
+		NoiseX: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := AssignRows(d); err != nil {
+		t.Fatal(err)
+	}
+	relaxed := d.Clone()
+	bounded := d.Clone()
+
+	pr, err := BuildProblem(relaxed, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xr, _, err := SolveMMSIM(pr, New(Options{Eps: 1e-6}).Opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Restore(pr, xr)
+
+	if err := BalanceRows(bounded); err != nil {
+		t.Fatal(err)
+	}
+	pb, err := BuildProblemBounded(bounded, 1000, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xb, st, err := SolveMMSIM(pb, New(Options{Eps: 1e-6}).Opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Converged {
+		t.Fatal("bounded MMSIM did not converge")
+	}
+	Restore(pb, xb)
+
+	overRelaxed, overBounded := 0, 0
+	for i := range d.Cells {
+		if c := relaxed.Cells[i]; c.X+c.W > relaxed.Core.Hi.X+1e-6 {
+			overRelaxed++
+		}
+		if c := bounded.Cells[i]; c.X+c.W > bounded.Core.Hi.X+0.51 {
+			// Allow half a site of penalty-softness; snapping absorbs it.
+			overBounded++
+		}
+	}
+	if overBounded > 0 {
+		t.Errorf("bounded solve left %d cells over the boundary", overBounded)
+	}
+	if overRelaxed == 0 {
+		t.Skip("instance did not stress the boundary; relaxed had no violators")
+	}
+	// The bounded optimum can only be as good or worse in objective.
+	objR, objB := 0.0, 0.0
+	for i := range d.Cells {
+		dr := relaxed.Cells[i].X - relaxed.Cells[i].GX
+		db := bounded.Cells[i].X - bounded.Cells[i].GX
+		objR += dr * dr
+		objB += db * db
+	}
+	if objB+1e-6 < objR {
+		t.Errorf("bounded objective %g below relaxed optimum %g", objB, objR)
+	}
+}
+
+// TestBoundedMatchesQPReference validates the bounded formulation against
+// the active-set solver with explicit boundary rows.
+func TestBoundedMatchesQPReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(307))
+	for trial := 0; trial < 10; trial++ {
+		d := randomDesign(rng, 3, 30, 8+rng.Intn(6), 0.25)
+		if err := AssignRows(d); err != nil {
+			t.Fatal(err)
+		}
+		if err := BalanceRows(d); err != nil {
+			t.Fatal(err)
+		}
+		lambda := 100.0
+		p, err := BuildProblemBounded(d, lambda, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.NumCons == 0 {
+			continue
+		}
+		x, st, err := SolveMMSIM(p, Options{
+			Lambda: lambda, Beta: 0.5, Theta: 0.5, Gamma: 1,
+			Eps: 1e-10, MaxIter: 400000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !st.Converged {
+			t.Fatalf("trial %d: no convergence", trial)
+		}
+		// Dense reference with the same constraints.
+		n := p.NumVars
+		h := dense.New(n, n)
+		for i := 0; i < n; i++ {
+			h.Set(i, i, 1)
+		}
+		for _, row := range p.E.Dense() {
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					h.Set(i, j, h.At(i, j)+lambda*row[i]*row[j])
+				}
+			}
+		}
+		m := p.NumCons
+		g := dense.New(m+n, n)
+		hv := make([]float64, m+n)
+		for i, row := range p.B.Dense() {
+			for j := 0; j < n; j++ {
+				g.Set(i, j, row[j])
+			}
+			hv[i] = p.Bv[i]
+		}
+		for j := 0; j < n; j++ {
+			g.Set(m+j, j, 1)
+		}
+		prob := &qp.Problem{H: h, P: append([]float64(nil), p.P...), G: g, Hv: hv}
+		x0 := boundedFeasibleStart(p, d)
+		if x0 == nil {
+			continue // row capacity too tight to build a trivially feasible start
+		}
+		ref, err := qp.Solve(prob, x0)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for i := 0; i < n; i++ {
+			if math.Abs(x[i]-ref[i]) > 2e-3 {
+				t.Errorf("trial %d: x[%d] MMSIM %.6f vs QP %.6f", trial, i, x[i], ref[i])
+			}
+		}
+	}
+}
+
+// boundedFeasibleStart packs each row's subcells left, all subcells of a
+// cell at their maximum position so Ex=0 holds approximately... instead we
+// simply pack every cell to a distinct slot inside the row and verify
+// feasibility against the built constraints.
+func boundedFeasibleStart(p *Problem, d *design.Design) []float64 {
+	x := make([]float64, p.NumVars)
+	// Per row, place subcells left-packed in constraint order.
+	cursor := map[int]float64{}
+	// Walk constraints? Simpler: group subcells by row in target order.
+	perRow := map[int][]int{}
+	for _, s := range p.Subcells {
+		perRow[s.Row] = append(perRow[s.Row], s.Var)
+	}
+	pos := map[int]float64{} // per cell: committed position
+	for row, vars := range perRow {
+		_ = row
+		for _, v := range vars {
+			cell := p.Subcells[v].Cell
+			cur := cursor[p.Subcells[v].Row]
+			if pv, ok := pos[cell]; ok {
+				if pv < cur {
+					return nil // multi-row cell collides with packing
+				}
+				cur = pv
+			}
+			x[v] = cur
+			pos[cell] = cur
+			cursor[p.Subcells[v].Row] = cur + p.Subcells[v].Width
+		}
+	}
+	// Verify all constraints hold.
+	for i, c := range p.Cons {
+		lhs := -x[c.Left]
+		if c.Right >= 0 {
+			lhs += x[c.Right]
+		}
+		if lhs < p.Bv[i]-1e-9 {
+			return nil
+		}
+		_ = i
+	}
+	return x
+}
+
+// TestBalanceRowsFixesOverload builds a deliberately overloaded row and
+// checks the balancer distributes it.
+func TestBalanceRowsFixesOverload(t *testing.T) {
+	d := design.NewDesign(design.Config{NumRows: 4, NumSites: 30, RowHeight: 10, SiteW: 1})
+	// 5 cells of width 8 all assigned to row 0 (total 40 > 30).
+	for i := 0; i < 5; i++ {
+		c := d.AddCell("c", 8, 10, design.VSS)
+		c.GX, c.GY = float64(i*2), 0
+		c.X, c.Y = c.GX, 0
+	}
+	if err := BalanceRows(d); err != nil {
+		t.Fatal(err)
+	}
+	load := map[int]float64{}
+	for _, c := range d.Cells {
+		load[d.RowAt(c.Y+1)] += c.W
+	}
+	for r, l := range load {
+		if l > 30 {
+			t.Errorf("row %d still overloaded: %g", r, l)
+		}
+	}
+}
+
+// TestBalanceRowsRespectsRails: even-height cells may only move to matching
+// rails.
+func TestBalanceRowsRespectsRails(t *testing.T) {
+	d := design.NewDesign(design.Config{NumRows: 6, NumSites: 20, RowHeight: 10, SiteW: 1})
+	for i := 0; i < 4; i++ {
+		c := d.AddCell("dc", 8, 20, design.VSS) // rows 0, 2, 4
+		c.GX, c.GY = 0, 0
+		c.X, c.Y = 0, 0
+	}
+	if err := BalanceRows(d); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range d.Cells {
+		r := d.RowAt(c.Y + 1)
+		if !d.RailCompatible(c, r) {
+			t.Errorf("cell %d on incompatible row %d", c.ID, r)
+		}
+	}
+}
+
+// TestBalanceRowsImpossible reports an error instead of looping when the
+// design simply does not fit.
+func TestBalanceRowsImpossible(t *testing.T) {
+	d := design.NewDesign(design.Config{NumRows: 2, NumSites: 10, RowHeight: 10, SiteW: 1})
+	for i := 0; i < 4; i++ {
+		c := d.AddCell("c", 9, 10, design.VSS)
+		c.Y = 0
+	}
+	if err := BalanceRows(d); err == nil {
+		t.Error("expected error for infeasible design")
+	}
+}
+
+// TestLegalizeBoundRightEndToEnd: the full flow with exact boundary
+// constraints produces a legal placement with zero boundary repairs.
+func TestLegalizeBoundRightEndToEnd(t *testing.T) {
+	d, err := gen.Generate(gen.Spec{
+		Name: "br", SingleCells: 300, DoubleCells: 30, Density: 0.85, Seed: 77, NoiseX: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := New(Options{BoundRight: true}).Legalize(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Unplaced != 0 {
+		t.Fatalf("%d unplaced", stats.Unplaced)
+	}
+	if rep := design.CheckLegal(d); !rep.Legal() {
+		t.Fatalf("illegal: %v", rep)
+	}
+}

@@ -1,0 +1,297 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"mclg/internal/design"
+	"mclg/internal/lcp"
+	"mclg/internal/tetris"
+)
+
+// Options configures the legalizer. The zero value plus DefaultOptions()
+// reproduces the paper's experimental setup (Section 5: λ = 1000,
+// β* = θ* = 0.5).
+type Options struct {
+	Lambda  float64 // subcell-equality penalty λ
+	Beta    float64 // β* splitting constant
+	Theta   float64 // θ* splitting constant
+	Gamma   float64 // MMSIM γ constant
+	Eps     float64 // MMSIM convergence tolerance on ||Δz||∞
+	MaxIter int
+
+	// ResidualTol is the LCP residual bound that must additionally hold at
+	// termination (guards against spurious ||Δz|| convergence). 0 means
+	// 0.5 — half a site width of constraint violation, absorbed by the
+	// Tetris snapping. Negative disables the check.
+	ResidualTol float64
+
+	// AutoTheta clamps θ* below the Theorem-2 bound 2(2−β*)/(β*·μmax)
+	// when the configured value would violate it.
+	AutoTheta bool
+
+	// PaperOmega forces the paper's Ω = I in Algorithm 1, overriding
+	// OmegaR and ScaledOmegaX. Used by fidelity experiments and the Ω
+	// ablation bench.
+	PaperOmega bool
+
+	// OmegaR sets the Ω diagonal on the multiplier block (0 means 1, the
+	// paper's choice). Any positive value yields the same LCP fixed
+	// point; the Ω ablation bench explores the convergence-speed
+	// trade-off.
+	OmegaR float64
+
+	// ScaledOmegaX uses Ω_x = diag(H) instead of I (ablation only; it is
+	// slower in practice).
+	ScaledOmegaX bool
+
+	// BoundRight adds exact right-boundary constraints to the LCP instead
+	// of relaxing them (extension beyond the paper; see
+	// BuildProblemBounded). The MMSIM optimum then has no
+	// out-of-boundary cells at all.
+	BoundRight bool
+
+	// SkipTetris stops after multi-row restoration, leaving real-valued
+	// positions (used by experiments that inspect the raw MMSIM optimum).
+	SkipTetris bool
+
+	// S0 supplies a custom MMSIM starting vector (length NumVars+NumCons).
+	// Nil selects the default warm start from the global-placement
+	// positions, which converges much faster than the zero vector because
+	// most of the relaxed optimum coincides with the GP.
+	S0 []float64
+
+	// ColdStart disables the warm start (s⁽⁰⁾ = 0), matching a literal
+	// reading of Algorithm 1; used by the warm-start ablation bench.
+	ColdStart bool
+
+	// OnIter forwards MMSIM per-iteration progress.
+	OnIter func(k int, dz float64)
+}
+
+// DefaultOptions returns the paper's parameters.
+func DefaultOptions() Options {
+	return Options{
+		Lambda:  1000,
+		Beta:    0.5,
+		Theta:   0.5,
+		Gamma:   1,
+		Eps:     1e-4,
+		MaxIter: 20000,
+	}
+}
+
+// Stats reports what a legalization run did.
+type Stats struct {
+	NumVars, NumCons int
+	Iterations       int
+	Converged        bool
+	ThetaUsed        float64
+	ThetaBound       float64 // 0 when not computed
+
+	// MaxSubcellMismatch is the largest spread (max − min) of the subcell
+	// x solutions of any multi-row cell before restoration, in database
+	// units; large values indicate λ is too small.
+	MaxSubcellMismatch float64
+
+	Illegal  int // illegal cells repaired by the Tetris stage
+	Unplaced int // cells the Tetris stage could not place (should be 0)
+
+	BuildTime  time.Duration
+	SolveTime  time.Duration
+	TetrisTime time.Duration
+}
+
+// Legalizer runs the full flow of Figure 4 on a design.
+type Legalizer struct {
+	Opts Options
+}
+
+// New returns a legalizer with the given options (zero fields filled with
+// defaults).
+func New(opts Options) *Legalizer {
+	def := DefaultOptions()
+	if opts.Lambda == 0 {
+		opts.Lambda = def.Lambda
+	}
+	if opts.Beta == 0 {
+		opts.Beta = def.Beta
+	}
+	if opts.Theta == 0 {
+		opts.Theta = def.Theta
+	}
+	if opts.Gamma == 0 {
+		opts.Gamma = def.Gamma
+	}
+	if opts.Eps == 0 {
+		opts.Eps = def.Eps
+	}
+	if opts.MaxIter == 0 {
+		opts.MaxIter = def.MaxIter
+	}
+	return &Legalizer{Opts: opts}
+}
+
+// Legalize runs row assignment, the MMSIM solve, multi-row restoration, and
+// the Tetris-like allocation, mutating the design's cell positions.
+func (l *Legalizer) Legalize(d *design.Design) (*Stats, error) {
+	stats := &Stats{}
+	t0 := time.Now()
+
+	if err := AssignRows(d); err != nil {
+		return nil, err
+	}
+	if l.Opts.BoundRight {
+		// Boundary constraints require per-row capacity feasibility.
+		if err := BalanceRows(d); err != nil {
+			return nil, err
+		}
+	}
+	p, err := BuildProblemBounded(d, l.Opts.Lambda, l.Opts.BoundRight)
+	if err != nil {
+		return nil, err
+	}
+	stats.NumVars, stats.NumCons = p.NumVars, p.NumCons
+	stats.BuildTime = time.Since(t0)
+
+	t1 := time.Now()
+	x, solveStats, err := SolveMMSIM(p, l.Opts)
+	if err != nil {
+		return nil, err
+	}
+	stats.Iterations = solveStats.Iterations
+	stats.Converged = solveStats.Converged
+	stats.ThetaUsed = solveStats.ThetaUsed
+	stats.ThetaBound = solveStats.ThetaBound
+	stats.SolveTime = time.Since(t1)
+
+	stats.MaxSubcellMismatch = Restore(p, x)
+
+	if !l.Opts.SkipTetris {
+		t2 := time.Now()
+		tres, err := tetris.Allocate(d)
+		if err != nil {
+			return nil, err
+		}
+		stats.Illegal = tres.Illegal
+		stats.Unplaced = tres.Unplaced
+		stats.TetrisTime = time.Since(t2)
+	}
+	return stats, nil
+}
+
+// SolveStats reports the MMSIM solve outcome.
+type SolveStats struct {
+	Iterations int
+	Converged  bool
+	ThetaUsed  float64
+	ThetaBound float64
+}
+
+// SolveMMSIM assembles the LCP for an already-built problem and runs the
+// structured MMSIM. It returns the subcell x solution (length p.NumVars,
+// relative to the core's left edge).
+func SolveMMSIM(p *Problem, opts Options) ([]float64, *SolveStats, error) {
+	st := &SolveStats{ThetaUsed: opts.Theta}
+	if p.NumVars == 0 {
+		st.Converged = true
+		return nil, st, nil
+	}
+	theta := opts.Theta
+	omegaR := opts.OmegaR
+	if omegaR == 0 {
+		omegaR = 1
+	}
+	build := func(p *Problem, beta, theta float64) (*StructuredSplitting, error) {
+		switch {
+		case opts.PaperOmega:
+			return NewStructuredSplitting(p, beta, theta)
+		case opts.ScaledOmegaX:
+			return NewStructuredSplittingScaledOmega(p, beta, theta)
+		default:
+			return NewStructuredSplittingOmegaR(p, beta, theta, omegaR)
+		}
+	}
+	sp, err := build(p, opts.Beta, theta)
+	if err != nil {
+		return nil, nil, err
+	}
+	if opts.AutoTheta {
+		bound, err := sp.ThetaBound()
+		if err != nil {
+			return nil, nil, err
+		}
+		st.ThetaBound = bound
+		if bound > 0 && theta >= bound {
+			theta = 0.95 * bound
+			sp, err = build(p, opts.Beta, theta)
+			if err != nil {
+				return nil, nil, err
+			}
+		}
+		st.ThetaUsed = theta
+	}
+
+	s0 := opts.S0
+	if s0 == nil && !opts.ColdStart {
+		// Warm start at the global-placement positions with zero
+		// multipliers: for z > 0 the modulus substitution gives
+		// s = γ·z/2, and most of the relaxed optimum stays near the GP.
+		s0 = make([]float64, p.NumVars+p.NumCons)
+		gamma := opts.Gamma
+		if gamma == 0 {
+			gamma = 1
+		}
+		for i, sc := range p.Subcells {
+			s0[i] = gamma * sc.Target / 2
+		}
+	}
+	resTol := opts.ResidualTol
+	if resTol == 0 {
+		resTol = 0.5
+	}
+	prob := &lcp.Problem{A: p.AssembleLCPMatrix(), Q: p.LCPVector()}
+	res, err := lcp.MMSIM(prob, sp, lcp.Options{
+		Gamma:       opts.Gamma,
+		Eps:         opts.Eps,
+		MaxIter:     opts.MaxIter,
+		S0:          s0,
+		ResidualTol: resTol,
+		OnIter:      opts.OnIter,
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: MMSIM: %w", err)
+	}
+	st.Iterations = res.Iterations
+	st.Converged = res.Converged
+	return res.Z[:p.NumVars], st, nil
+}
+
+// Restore writes the solved subcell positions back to the design's cells:
+// each cell's x is the mean of its subcells' solutions (which coincide up
+// to solver precision when λ is large). Returns the maximum subcell spread
+// observed.
+func Restore(p *Problem, x []float64) float64 {
+	maxSpread := 0.0
+	for cellID, vars := range p.CellVars {
+		if len(vars) == 0 {
+			continue
+		}
+		lo, hi, sum := x[vars[0]], x[vars[0]], 0.0
+		for _, v := range vars {
+			xv := x[v]
+			sum += xv
+			if xv < lo {
+				lo = xv
+			}
+			if xv > hi {
+				hi = xv
+			}
+		}
+		if s := hi - lo; s > maxSpread {
+			maxSpread = s
+		}
+		p.D.Cells[cellID].X = p.D.Core.Lo.X + sum/float64(len(vars))
+	}
+	return maxSpread
+}

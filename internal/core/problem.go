@@ -1,0 +1,501 @@
+// Package core implements the paper's mixed-cell-height legalization
+// algorithm:
+//
+//  1. assign every movable cell to its nearest correct row (power-rail
+//     matched for even-row-span cells) and fix the per-row left-to-right
+//     ordering from global placement,
+//  2. split multi-row cells into single-row subcells tied by equality
+//     constraints Ex = 0, folded into the objective with penalty λ,
+//  3. form the KKT conditions of the relaxed convex QP as the linear
+//     complementarity problem LCP(q, A) with
+//     A = [[Q+λEᵀE, −Bᵀ], [B, 0]]   (Eq. 15),
+//  4. solve it with the modulus-based matrix splitting iteration (MMSIM)
+//     using the structured block lower-triangular splitting of Eq. 16, whose
+//     per-iteration cost is O(n),
+//  5. restore multi-row cells and run the Tetris-like allocation to snap to
+//     sites and repair any overlapping or out-of-right-boundary cells.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"mclg/internal/design"
+	"mclg/internal/sparse"
+)
+
+// Subcell is one single-row-height slice of a cell. A single-row cell has
+// exactly one subcell; a k-row cell has k, ordered bottom to top.
+type Subcell struct {
+	Cell   int // owning cell ID
+	Slice  int // 0-based slice index within the cell (0 = bottom)
+	Row    int // assigned placement row
+	Var    int // variable index in the QP/LCP
+	Width  float64
+	Target float64 // global x position relative to the core's left edge
+}
+
+// Constraint is one non-overlap constraint x_j − x_l ≥ w_l between
+// horizontally adjacent subcells in a row. Right == -1 encodes a
+// right-boundary constraint −x_l ≥ Gap (BuildProblemBounded).
+type Constraint struct {
+	Row         int
+	Left, Right int // variable indices; Right == -1 for boundary rows
+	Gap         float64
+}
+
+// Problem is the assembled relaxed legalization QP in LCP-ready form.
+type Problem struct {
+	D *design.Design
+
+	Subcells []Subcell
+	CellVars [][]int // per cell ID: its variable indices (nil for fixed cells)
+
+	Cons []Constraint // ordered row-major, left to right
+
+	NumVars int
+	NumCons int
+
+	B  *sparse.CSR // NumCons x NumVars ordering-constraint matrix
+	E  *sparse.CSR // equality-constraint matrix tying subcells (may have 0 rows)
+	P  []float64   // linear objective term: P[v] = −target_v
+	Bv []float64   // constraint right-hand sides (gaps)
+
+	Lambda float64
+
+	// blocks[cellID] is the span of the cell's variable block (0 for fixed
+	// cells); variable blocks are contiguous and ordered by cell ID.
+	blockOfVar []int // owning cell ID per variable
+}
+
+// ErrNoRow is returned when a cell cannot be assigned to any rail-compatible
+// row (e.g. taller than the core).
+type ErrNoRow struct{ CellID int }
+
+func (e ErrNoRow) Error() string {
+	return fmt.Sprintf("core: cell %d has no rail-compatible row", e.CellID)
+}
+
+// AssignRows sets every movable cell's Y to its nearest correct row
+// (Section 3 of the paper): the nearest row for odd-row-span cells, with
+// vertical flipping recorded when the rail type mismatches, and the nearest
+// power-rail-matched row for even-row-span cells. The x coordinate is left
+// at the global position.
+func AssignRows(d *design.Design) error {
+	for _, c := range d.Cells {
+		if c.Fixed {
+			continue
+		}
+		row := d.NearestCorrectRow(c, c.GY)
+		if row < 0 {
+			return ErrNoRow{CellID: c.ID}
+		}
+		c.X = c.GX
+		c.Y = d.RowY(row)
+		c.Flipped = !c.EvenSpan() && d.Rows[row].Rail != c.BottomRail
+	}
+	return nil
+}
+
+// BuildProblem assembles the relaxed QP (13) for a design whose cells have
+// already been assigned to rows (c.Y on a row boundary for every movable
+// cell). Cells in each row are ordered by their global x position, honoring
+// the global-placement ordering; ties break by cell ID for determinism.
+//
+// Fixed cells are not variables and, matching the paper's benchmarks
+// (which strip fence regions and blockages), do not constrain the QP;
+// overlaps with fixed cells are repaired by the Tetris allocation stage.
+func BuildProblem(d *design.Design, lambda float64) (*Problem, error) {
+	return BuildProblemBounded(d, lambda, false)
+}
+
+// BuildProblemBounded is BuildProblem with an optional exact right-boundary
+// mode (an extension beyond the paper, which relaxes the right boundary and
+// repairs violators in the Tetris stage): when boundRight is true, the
+// rightmost subcell of every row gets an extra constraint
+// −x ≥ −(X_max − w), i.e. x + w ≤ X_max. These single-entry rows keep B of
+// full row rank (they only touch the last variable of each row chain), so
+// the MMSIM convergence argument is unchanged, and the solution is the true
+// optimum of the boundary-constrained problem — no out-of-boundary cells
+// remain for the allocation stage to fix.
+func BuildProblemBounded(d *design.Design, lambda float64, boundRight bool) (*Problem, error) {
+	p := &Problem{D: d, Lambda: lambda, CellVars: make([][]int, len(d.Cells))}
+
+	// Create subcells and variables, cells in ID order so blocks are
+	// contiguous.
+	perRow := make([][]int, len(d.Rows)) // subcell indices per row
+	for _, c := range d.Cells {
+		if c.Fixed {
+			continue
+		}
+		row := d.RowAt(c.Y + d.RowHeight/2)
+		if row < 0 || row+c.RowSpan > len(d.Rows) {
+			return nil, fmt.Errorf("core: cell %d not assigned to a valid row (y=%g)", c.ID, c.Y)
+		}
+		vars := make([]int, c.RowSpan)
+		for k := 0; k < c.RowSpan; k++ {
+			v := len(p.Subcells)
+			vars[k] = v
+			p.Subcells = append(p.Subcells, Subcell{
+				Cell:   c.ID,
+				Slice:  k,
+				Row:    row + k,
+				Var:    v,
+				Width:  c.W,
+				Target: c.GX - d.Core.Lo.X,
+			})
+			p.blockOfVar = append(p.blockOfVar, c.ID)
+			perRow[row+k] = append(perRow[row+k], v)
+		}
+		p.CellVars[c.ID] = vars
+	}
+	p.NumVars = len(p.Subcells)
+
+	// Order each row by global x and emit adjacency constraints row-major.
+	// With boundRight, each row additionally gets a right-boundary row
+	// −x ≥ −(X_max − w) on its rightmost subcell (Right == -1 encodes the
+	// missing right variable), placed directly after the row's chain so the
+	// tridiagonal Schur approximation D captures its coupling with the
+	// neighboring chain constraint.
+	for r := range perRow {
+		vars := perRow[r]
+		sort.Slice(vars, func(a, b int) bool {
+			sa, sb := &p.Subcells[vars[a]], &p.Subcells[vars[b]]
+			if sa.Target != sb.Target {
+				return sa.Target < sb.Target
+			}
+			return sa.Cell < sb.Cell
+		})
+		for i := 0; i+1 < len(vars); i++ {
+			l, rv := vars[i], vars[i+1]
+			p.Cons = append(p.Cons, Constraint{
+				Row:  r,
+				Left: l, Right: rv,
+				Gap: p.Subcells[l].Width,
+			})
+		}
+		if boundRight && len(vars) > 0 {
+			last := vars[len(vars)-1]
+			limit := d.Rows[r].XMax() - d.Core.Lo.X - p.Subcells[last].Width
+			p.Cons = append(p.Cons, Constraint{
+				Row:  r,
+				Left: last, Right: -1,
+				Gap: -limit,
+			})
+		}
+	}
+	p.NumCons = len(p.Cons)
+
+	// Constraint matrix B: row per constraint with −1 at Left, +1 at Right
+	// (boundary rows have only the −1 entry).
+	bb := sparse.NewBuilder(p.NumCons, p.NumVars)
+	p.Bv = make([]float64, p.NumCons)
+	for i, c := range p.Cons {
+		bb.Add(i, c.Left, -1)
+		if c.Right >= 0 {
+			bb.Add(i, c.Right, 1)
+		}
+		p.Bv[i] = c.Gap
+	}
+	p.B = bb.Build()
+
+	// Equality matrix E: chain consecutive subcells of each multi-row cell.
+	numEq := 0
+	for _, vars := range p.CellVars {
+		if len(vars) > 1 {
+			numEq += len(vars) - 1
+		}
+	}
+	eb := sparse.NewBuilder(numEq, p.NumVars)
+	row := 0
+	for _, vars := range p.CellVars {
+		for k := 0; k+1 < len(vars); k++ {
+			eb.Add(row, vars[k], -1)
+			eb.Add(row, vars[k+1], 1)
+			row++
+		}
+	}
+	p.E = eb.Build()
+
+	// Linear objective p = −x'.
+	p.P = make([]float64, p.NumVars)
+	for i, s := range p.Subcells {
+		p.P[i] = -s.Target
+	}
+	return p, nil
+}
+
+// ApplyH computes dst = H src with H = I + λEᵀE. The E-coupling is block
+// tridiagonal per multi-row cell (path-graph Laplacian), applied directly
+// without materializing H.
+func (p *Problem) ApplyH(dst, src []float64) {
+	copy(dst, src)
+	p.addLambdaLaplacian(dst, src, p.Lambda)
+}
+
+// addLambdaLaplacian computes dst += coef * (EᵀE) src using the per-cell
+// path-Laplacian structure.
+func (p *Problem) addLambdaLaplacian(dst, src []float64, coef float64) {
+	for _, vars := range p.CellVars {
+		for k := 0; k+1 < len(vars); k++ {
+			lo, hi := vars[k], vars[k+1]
+			diff := src[hi] - src[lo]
+			dst[lo] -= coef * diff
+			dst[hi] += coef * diff
+		}
+	}
+}
+
+// SolveHShifted solves (c1·I + c2·λ'·L) dst = rhs blockwise, where L is the
+// per-cell path Laplacian (so c1 = 1, c2·λ' = λ gives H, and
+// c1 = 1/β*+1, c2·λ' = λ/β* gives the (1/β*)H + I system of the MMSIM).
+// lamCoef is the coefficient multiplying L. dst and rhs may alias.
+func (p *Problem) SolveHShifted(c1, lamCoef float64, dst, rhs []float64) {
+	if &dst[0] != &rhs[0] {
+		copy(dst, rhs)
+	}
+	for cellID, vars := range p.CellVars {
+		d := len(vars)
+		switch {
+		case d == 0:
+			continue
+		case d == 1:
+			dst[vars[0]] = rhs[vars[0]] / c1
+		case d == 2:
+			// Block [[c1+λ', −λ'], [−λ', c1+λ']] with λ' = lamCoef: the
+			// closed form the paper derives via Sherman–Morrison.
+			a := c1 + lamCoef
+			det := a*a - lamCoef*lamCoef
+			r0, r1 := rhs[vars[0]], rhs[vars[1]]
+			dst[vars[0]] = (a*r0 + lamCoef*r1) / det
+			dst[vars[1]] = (lamCoef*r0 + a*r1) / det
+		default:
+			// General k-row cells: Thomas algorithm on the small
+			// tridiagonal block c1·I + λ'·L where L = path Laplacian
+			// (diag 1,2,...,2,1; off-diagonals −1).
+			p.solvePathBlock(c1, lamCoef, vars, dst, rhs)
+		}
+		_ = cellID
+	}
+}
+
+// solvePathBlock runs the Thomas algorithm on one cell block. Stack-local
+// scratch keeps this allocation-free for realistic spans.
+func (p *Problem) solvePathBlock(c1, lam float64, vars []int, dst, rhs []float64) {
+	d := len(vars)
+	const maxSpan = 16
+	var diagA, rhsA [maxSpan]float64
+	diag := diagA[:d]
+	r := rhsA[:d]
+	if d > maxSpan {
+		diag = make([]float64, d)
+		r = make([]float64, d)
+	}
+	for k := 0; k < d; k++ {
+		deg := 2.0
+		if k == 0 || k == d-1 {
+			deg = 1
+		}
+		diag[k] = c1 + lam*deg
+		r[k] = rhs[vars[k]]
+	}
+	// Forward elimination with constant off-diagonal −lam.
+	for k := 1; k < d; k++ {
+		m := -lam / diag[k-1]
+		diag[k] -= m * -lam
+		r[k] -= m * r[k-1]
+	}
+	r[d-1] /= diag[d-1]
+	for k := d - 2; k >= 0; k-- {
+		r[k] = (r[k] + lam*r[k+1]) / diag[k]
+	}
+	for k := 0; k < d; k++ {
+		dst[vars[k]] = r[k]
+	}
+}
+
+// HDiag returns diag(H) = 1 + λ·deg(v), where deg is the variable's degree
+// in its cell's subcell chain (0 for single-height cells).
+func (p *Problem) HDiag() []float64 {
+	out := make([]float64, p.NumVars)
+	for i := range out {
+		out[i] = 1
+	}
+	for _, vars := range p.CellVars {
+		for k := 0; k+1 < len(vars); k++ {
+			out[vars[k]] += p.Lambda
+			out[vars[k+1]] += p.Lambda
+		}
+	}
+	return out
+}
+
+// SolveHOmegaDiag solves ((1/β)H + diag(H)) dst = rhs blockwise. The block
+// matrix is (1/β + 1)·diag(H) on the diagonal and −λ/β on the subcell
+// chain off-diagonals — tridiagonal per cell, solved by the Thomas
+// algorithm. dst and rhs may alias.
+func (p *Problem) SolveHOmegaDiag(beta float64, dst, rhs []float64) {
+	c1 := 1/beta + 1
+	lam := p.Lambda
+	off := lam / beta
+	if &dst[0] != &rhs[0] {
+		copy(dst, rhs)
+	}
+	const maxSpan = 16
+	var diagA, rhsA [maxSpan]float64
+	for _, vars := range p.CellVars {
+		d := len(vars)
+		switch {
+		case d == 0:
+			continue
+		case d == 1:
+			dst[vars[0]] = rhs[vars[0]] / c1
+		default:
+			diag := diagA[:d]
+			r := rhsA[:d]
+			if d > maxSpan {
+				diag = make([]float64, d)
+				r = make([]float64, d)
+			}
+			for k := 0; k < d; k++ {
+				deg := 2.0
+				if k == 0 || k == d-1 {
+					deg = 1
+				}
+				diag[k] = c1 * (1 + lam*deg)
+				r[k] = rhs[vars[k]]
+			}
+			for k := 1; k < d; k++ {
+				m := -off / diag[k-1]
+				diag[k] -= m * -off
+				r[k] -= m * r[k-1]
+			}
+			r[d-1] /= diag[d-1]
+			for k := d - 2; k >= 0; k-- {
+				r[k] = (r[k] + off*r[k+1]) / diag[k]
+			}
+			for k := 0; k < d; k++ {
+				dst[vars[k]] = r[k]
+			}
+		}
+	}
+}
+
+// ApplyHInvSparse applies H⁻¹ to a sparse vector given as (idx, val) pairs
+// and emits the nonzero results. Because H is block diagonal per cell, only
+// the blocks containing input indices are touched, so the cost is
+// O(Σ span(cell)) over the distinct cells referenced.
+func (p *Problem) ApplyHInvSparse(idx []int, val []float64, emit func(int, float64)) {
+	// Group by owning cell; input vectors here are rows of B with ≤ 2
+	// entries, so a simple scan is fine.
+	const maxSpan = 16
+	var rhsA [maxSpan]float64
+	done := make(map[int]bool, 2)
+	for n, j := range idx {
+		cell := p.blockOfVar[j]
+		if done[cell] {
+			continue
+		}
+		done[cell] = true
+		vars := p.CellVars[cell]
+		d := len(vars)
+		rhs := rhsA[:d]
+		if d > maxSpan {
+			rhs = make([]float64, d)
+		}
+		for k := range rhs {
+			rhs[k] = 0
+		}
+		// Gather every input entry that falls in this block.
+		for m := n; m < len(idx); m++ {
+			if p.blockOfVar[idx[m]] == cell {
+				rhs[idx[m]-vars[0]] += val[m]
+			}
+		}
+		sol := make([]float64, d)
+		p.solveBlockDense(1, p.Lambda, vars, sol, rhs)
+		for k, v := range sol {
+			if v != 0 {
+				emit(vars[k], v)
+			}
+		}
+	}
+}
+
+// solveBlockDense solves one (c1·I + lam·L) block with local index slices
+// (rhs indexed 0..d-1, result written to sol).
+func (p *Problem) solveBlockDense(c1, lam float64, vars []int, sol, rhs []float64) {
+	d := len(vars)
+	if d == 1 {
+		sol[0] = rhs[0] / c1
+		return
+	}
+	diag := make([]float64, d)
+	r := append([]float64(nil), rhs...)
+	for k := 0; k < d; k++ {
+		deg := 2.0
+		if k == 0 || k == d-1 {
+			deg = 1
+		}
+		diag[k] = c1 + lam*deg
+	}
+	for k := 1; k < d; k++ {
+		m := -lam / diag[k-1]
+		diag[k] -= m * -lam
+		r[k] -= m * r[k-1]
+	}
+	r[d-1] /= diag[d-1]
+	for k := d - 2; k >= 0; k-- {
+		r[k] = (r[k] + lam*r[k+1]) / diag[k]
+	}
+	copy(sol, r)
+}
+
+// SchurTridiag computes D = tridiag(B H⁻¹ Bᵀ), the tridiagonal
+// approximation of the Schur complement used by the splitting (Eq. 16).
+// For designs with only single- and double-row cells this equals the
+// paper's Sherman–Morrison closed form; for taller cells it generalizes via
+// exact per-block solves.
+func (p *Problem) SchurTridiag() *sparse.Tridiag {
+	return sparse.GramTridiagApply(p.B, p.ApplyHInvSparse)
+}
+
+// AssembleLCPMatrix builds the full saddle-point matrix
+// A = [[H, −Bᵀ], [B, 0]] in CSR form for the MMSIM rhs products.
+func (p *Problem) AssembleLCPMatrix() *sparse.CSR {
+	n, m := p.NumVars, p.NumCons
+	b := sparse.NewBuilder(n+m, n+m)
+	// H = I + λ EᵀE.
+	for i := 0; i < n; i++ {
+		b.Add(i, i, 1)
+	}
+	for _, vars := range p.CellVars {
+		for k := 0; k+1 < len(vars); k++ {
+			lo, hi := vars[k], vars[k+1]
+			b.Add(lo, lo, p.Lambda)
+			b.Add(hi, hi, p.Lambda)
+			b.Add(lo, hi, -p.Lambda)
+			b.Add(hi, lo, -p.Lambda)
+		}
+	}
+	// −Bᵀ (top right) and B (bottom left).
+	for i, c := range p.Cons {
+		b.Add(c.Left, n+i, -(-1.0)) // −(Bᵀ)[left][i] = −(−1) = +1
+		b.Add(n+i, c.Left, -1)
+		if c.Right >= 0 {
+			b.Add(c.Right, n+i, -1.0) // −(Bᵀ)[right][i] = −(+1) = −1
+			b.Add(n+i, c.Right, 1)
+		}
+	}
+	return b.Build()
+}
+
+// LCPVector builds q = [p; −b].
+func (p *Problem) LCPVector() []float64 {
+	q := make([]float64, p.NumVars+p.NumCons)
+	copy(q, p.P)
+	for i, bv := range p.Bv {
+		q[p.NumVars+i] = -bv
+	}
+	return q
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"fmt"
+
+	"mclg/internal/sparse"
+)
+
+// StructuredSplitting is the paper's block lower-triangular MMSIM splitting
+// (Eq. 16):
+//
+//	M = [[(1/β*)H,     0      ],      N = [[(1/β*−1)H,  Bᵀ     ],
+//	     [   B,     (1/θ*)D   ]]           [    0,    (1/θ*)D  ]]
+//
+// with H = Q + λEᵀE and D = tridiag(B H⁻¹ Bᵀ). With Ω = I, the system
+// (M + Ω) s = rhs is block lower triangular: the x-block solve is a
+// per-cell block solve and the r-block solve is one tridiagonal system, so
+// each MMSIM iteration costs O(n + m).
+type StructuredSplitting struct {
+	p        *Problem
+	beta     float64
+	theta    float64
+	d        *sparse.Tridiag       // D
+	mSolver  *sparse.TridiagSolver // factor of (1/θ*)D + Ω_r
+	scratchX []float64
+	dScaled  *sparse.Tridiag // (1/θ*)D, reused by ApplyN
+	omega    []float64       // nil for Ω = I
+	scaledX  bool            // Ω_x = diag(H) instead of I
+}
+
+// NewStructuredSplitting builds the splitting for an assembled problem with
+// Ω = I, exactly as in the paper's Algorithm 1. beta and theta are the β*
+// and θ* constants; the paper uses 0.5 for both.
+func NewStructuredSplitting(p *Problem, beta, theta float64) (*StructuredSplitting, error) {
+	return newStructured(p, beta, theta, false, 1)
+}
+
+// NewStructuredSplittingScaledOmega builds the splitting with
+// Ω_x = diag(H) and Ω_r = 1 instead of the paper's Ω = I. For large λ this
+// removes the near-unit contraction of the subcell-coupling modes — with
+// Ω = I those modes contract like 1 − O(1/λ), which stalls high-density
+// mixed designs — while leaving the solution unchanged (any positive
+// diagonal Ω yields the same LCP fixed point). This is the documented
+// deviation the Ω-ablation bench quantifies.
+func NewStructuredSplittingScaledOmega(p *Problem, beta, theta float64) (*StructuredSplitting, error) {
+	return newStructured(p, beta, theta, true, 1)
+}
+
+// NewStructuredSplittingOmegaR builds the paper's splitting but with
+// Ω_r = omegaR instead of 1 on the multiplier block. D's low-frequency
+// modes (long constraint chains in dense rows) have eigenvalues O(1/m²);
+// with Ω_r = 1 they barely move per iteration and the multipliers ramp for
+// tens of thousands of iterations on dense designs. A small Ω_r lets the
+// (1/θ*)D term dominate and removes the stall while keeping Ω positive
+// diagonal, the only requirement of the MMSIM theory.
+func NewStructuredSplittingOmegaR(p *Problem, beta, theta, omegaR float64) (*StructuredSplitting, error) {
+	return newStructured(p, beta, theta, false, omegaR)
+}
+
+func newStructured(p *Problem, beta, theta float64, scaledOmega bool, omegaR float64) (*StructuredSplitting, error) {
+	if beta <= 0 || beta >= 2 {
+		return nil, fmt.Errorf("core: beta must be in (0, 2), got %g", beta)
+	}
+	if theta <= 0 {
+		return nil, fmt.Errorf("core: theta must be positive, got %g", theta)
+	}
+	if omegaR <= 0 {
+		return nil, fmt.Errorf("core: omegaR must be positive, got %g", omegaR)
+	}
+	s := &StructuredSplitting{
+		p:        p,
+		beta:     beta,
+		theta:    theta,
+		d:        p.SchurTridiag(),
+		scratchX: make([]float64, p.NumVars),
+		scaledX:  scaledOmega,
+	}
+	if scaledOmega || omegaR != 1 {
+		n, m := p.NumVars, p.NumCons
+		s.omega = make([]float64, n+m)
+		if scaledOmega {
+			copy(s.omega[:n], p.HDiag())
+		} else {
+			for i := 0; i < n; i++ {
+				s.omega[i] = 1
+			}
+		}
+		for i := n; i < n+m; i++ {
+			s.omega[i] = omegaR
+		}
+	}
+	s.dScaled = s.d.Scaled(1 / theta)
+	solver, err := s.dScaled.Shifted(omegaR).Factor()
+	if err != nil {
+		return nil, fmt.Errorf("core: factoring (1/θ*)D + Ω_r: %w", err)
+	}
+	s.mSolver = solver
+	return s, nil
+}
+
+// D returns the tridiagonal Schur approximation (for diagnostics and the
+// θ* bound computation).
+func (s *StructuredSplitting) D() *sparse.Tridiag { return s.d }
+
+// SolveMOmega solves (M + Ω) dst = rhs exploiting the block
+// lower-triangular structure:
+//
+//	((1/β*)H + Ω_x) s_x            = rhs_x
+//	((1/θ*)D + Ω_r) s_r            = rhs_r − B s_x
+func (s *StructuredSplitting) SolveMOmega(dst, rhs []float64) {
+	n, m := s.p.NumVars, s.p.NumCons
+	if s.scaledX {
+		// Ω_x = diag(H): (1/β*)H + diag(H) = (1/β*+1)diag(H) − (λ/β*)Adj,
+		// still tridiagonal per cell block.
+		s.p.SolveHOmegaDiag(s.beta, dst[:n], rhs[:n])
+	} else {
+		// Ω_x = I: per-cell solve of (1/β*)(I + λL) + I = (1/β*+1)I + (λ/β*)L.
+		s.p.SolveHShifted(1/s.beta+1, s.p.Lambda/s.beta, dst[:n], rhs[:n])
+	}
+	// Bottom block: ((1/θ*)D + Ω_r).
+	rhsR := dst[n : n+m]
+	copy(rhsR, rhs[n:n+m])
+	s.p.B.AddMulVec(rhsR, dst[:n], -1)
+	s.mSolver.Solve(rhsR, rhsR)
+}
+
+// ApplyN computes dst = N src:
+//
+//	dst_x = (1/β*−1) H src_x + Bᵀ src_r
+//	dst_r = (1/θ*) D src_r
+func (s *StructuredSplitting) ApplyN(dst, src []float64) {
+	n, m := s.p.NumVars, s.p.NumCons
+	s.p.ApplyH(s.scratchX, src[:n])
+	coef := 1/s.beta - 1
+	for i := 0; i < n; i++ {
+		dst[i] = coef * s.scratchX[i]
+	}
+	s.p.B.AddMulVecT(dst[:n], src[n:n+m], 1)
+	s.dScaled.MulVec(dst[n:n+m], src[n:n+m])
+}
+
+// Omega returns the positive diagonal Ω: nil for the paper's Ω = I, or the
+// explicit diagonal for the scaled variants.
+func (s *StructuredSplitting) Omega() []float64 { return s.omega }
+
+// ThetaBound returns the convergence bound 2(2−β*)/(β*·μmax) from
+// Theorem 2, where μmax is the dominant eigenvalue of
+// Γ = D⁻¹ B H⁻¹ Bᵀ, estimated by power iteration. θ* must lie strictly
+// below the returned value for the convergence guarantee to hold.
+func (s *StructuredSplitting) ThetaBound() (float64, error) {
+	m := s.p.NumCons
+	if m == 0 {
+		return 0, nil
+	}
+	dSolver, err := s.d.Factor()
+	if err != nil {
+		return 0, fmt.Errorf("core: factoring D: %w", err)
+	}
+	xTmp := make([]float64, s.p.NumVars)
+	xTmp2 := make([]float64, s.p.NumVars)
+	mTmp := make([]float64, m)
+	mu := sparse.PowerIteration(m, func(dst, src []float64) {
+		s.p.B.MulVecT(xTmp, src)                      // Bᵀ v
+		s.p.SolveHShifted(1, s.p.Lambda, xTmp2, xTmp) // H⁻¹ Bᵀ v
+		s.p.B.MulVec(mTmp, xTmp2)                     // B H⁻¹ Bᵀ v
+		dSolver.Solve(dst, mTmp)                      // D⁻¹ ...
+	}, 200, 1e-8)
+	if mu <= 0 {
+		return 0, fmt.Errorf("core: nonpositive μmax estimate %g", mu)
+	}
+	return 2 * (2 - s.beta) / (s.beta * mu), nil
+}

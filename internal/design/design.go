@@ -1,0 +1,243 @@
+package design
+
+import (
+	"fmt"
+	"math"
+
+	"mclg/internal/geom"
+)
+
+// Row is a placement row. All rows in a design share the same height and
+// site width; rows are stacked contiguously from the bottom of the core.
+type Row struct {
+	Index    int
+	Y        float64  // bottom edge
+	Height   float64  // row height
+	OriginX  float64  // x of the first site
+	SiteW    float64  // placement site width
+	NumSites int      // number of sites in the row
+	Rail     RailType // rail type along the row's bottom boundary
+}
+
+// XMax returns the x coordinate just past the last site.
+func (r *Row) XMax() float64 { return r.OriginX + float64(r.NumSites)*r.SiteW }
+
+// Span returns the row's horizontal extent.
+func (r *Row) Span() geom.Interval { return geom.Interval{Lo: r.OriginX, Hi: r.XMax()} }
+
+// Design is a complete placement instance.
+type Design struct {
+	Name  string
+	Core  geom.Rect
+	Rows  []Row
+	Cells []*Cell
+	Nets  []Net
+
+	RowHeight float64
+	SiteW     float64
+}
+
+// Config parameterizes NewDesign.
+type Config struct {
+	Name      string
+	NumRows   int
+	NumSites  int
+	RowHeight float64
+	SiteW     float64
+	// BottomRail is the rail type at the bottom boundary of row 0.
+	// Rails alternate from there: VSS, VDD, VSS, ... by default.
+	BottomRail RailType
+	OriginX    float64
+	OriginY    float64
+}
+
+// NewDesign builds an empty design with the given row/site structure.
+func NewDesign(cfg Config) *Design {
+	if cfg.RowHeight <= 0 || cfg.SiteW <= 0 || cfg.NumRows <= 0 || cfg.NumSites <= 0 {
+		panic(fmt.Sprintf("design: invalid config %+v", cfg))
+	}
+	d := &Design{
+		Name:      cfg.Name,
+		RowHeight: cfg.RowHeight,
+		SiteW:     cfg.SiteW,
+		Core: geom.NewRect(cfg.OriginX, cfg.OriginY,
+			float64(cfg.NumSites)*cfg.SiteW, float64(cfg.NumRows)*cfg.RowHeight),
+	}
+	rail := cfg.BottomRail
+	for i := 0; i < cfg.NumRows; i++ {
+		d.Rows = append(d.Rows, Row{
+			Index:    i,
+			Y:        cfg.OriginY + float64(i)*cfg.RowHeight,
+			Height:   cfg.RowHeight,
+			OriginX:  cfg.OriginX,
+			SiteW:    cfg.SiteW,
+			NumSites: cfg.NumSites,
+			Rail:     rail,
+		})
+		rail = rail.Opposite()
+	}
+	return d
+}
+
+// AddCell appends a cell, assigning its ID and row span, and returns it.
+// The position fields are left to the caller.
+func (d *Design) AddCell(name string, w, h float64, bottomRail RailType) *Cell {
+	span := int(math.Round(h / d.RowHeight))
+	if span < 1 || math.Abs(float64(span)*d.RowHeight-h) > 1e-9*d.RowHeight {
+		panic(fmt.Sprintf("design: cell %q height %g is not a multiple of row height %g", name, h, d.RowHeight))
+	}
+	c := &Cell{
+		ID:         len(d.Cells),
+		Name:       name,
+		W:          w,
+		H:          h,
+		RowSpan:    span,
+		BottomRail: bottomRail,
+	}
+	d.Cells = append(d.Cells, c)
+	return c
+}
+
+// NumMovable returns the number of non-fixed cells.
+func (d *Design) NumMovable() int {
+	n := 0
+	for _, c := range d.Cells {
+		if !c.Fixed {
+			n++
+		}
+	}
+	return n
+}
+
+// Density returns total movable+fixed cell area over core area.
+func (d *Design) Density() float64 {
+	area := 0.0
+	for _, c := range d.Cells {
+		area += c.Area()
+	}
+	ca := d.Core.Area()
+	if ca == 0 {
+		return 0
+	}
+	return area / ca
+}
+
+// RowAt returns the index of the row whose vertical span contains y, or -1.
+func (d *Design) RowAt(y float64) int {
+	i := int(math.Floor((y - d.Core.Lo.Y) / d.RowHeight))
+	if i < 0 || i >= len(d.Rows) {
+		return -1
+	}
+	return i
+}
+
+// RowY returns the bottom y coordinate of row index i.
+func (d *Design) RowY(i int) float64 { return d.Core.Lo.Y + float64(i)*d.RowHeight }
+
+// SnapX returns x snapped to the nearest site boundary, clamped to the row.
+func (d *Design) SnapX(x float64) float64 {
+	s := math.Round((x-d.Core.Lo.X)/d.SiteW)*d.SiteW + d.Core.Lo.X
+	return geom.Interval{Lo: d.Core.Lo.X, Hi: d.Core.Hi.X}.Clamp(s)
+}
+
+// SiteIndex returns the site index for coordinate x (floor), which may be
+// out of range; callers clamp as needed.
+func (d *Design) SiteIndex(x float64) int {
+	return int(math.Round((x - d.Core.Lo.X) / d.SiteW))
+}
+
+// RailCompatible reports whether cell c may be placed with its bottom edge
+// on row rowIdx. Odd-row-span cells fit any row (flipping fixes a rail
+// mismatch); even-row-span cells need the row's bottom rail to match the
+// cell's designed bottom rail. The cell must also fit vertically.
+func (d *Design) RailCompatible(c *Cell, rowIdx int) bool {
+	if rowIdx < 0 || rowIdx+c.RowSpan > len(d.Rows) {
+		return false
+	}
+	if !c.EvenSpan() {
+		return true
+	}
+	return d.Rows[rowIdx].Rail == c.BottomRail
+}
+
+// NearestCorrectRow returns the index of the row nearest to y (in geometric
+// distance, per the paper's "nearest row which matches the power rail from
+// its global y-position") at which cell c may legally start, or -1 if no
+// row qualifies. Exact distance ties prefer the lower row.
+func (d *Design) NearestCorrectRow(c *Cell, y float64) int {
+	base := int(math.Round((y - d.Core.Lo.Y) / d.RowHeight))
+	maxStart := len(d.Rows) - c.RowSpan
+	if maxStart < 0 {
+		return -1
+	}
+	if base < 0 {
+		base = 0
+	}
+	if base > maxStart {
+		base = maxStart
+	}
+	// Search outward from the nearest geometric row; candidates at the same
+	// index delta are compared by |y − rowY|.
+	for delta := 0; delta <= len(d.Rows); delta++ {
+		best := -1
+		bestDist := math.Inf(1)
+		for _, r := range [2]int{base - delta, base + delta} {
+			if r < 0 || r > maxStart || !d.RailCompatible(c, r) {
+				continue
+			}
+			if dist := math.Abs(y - d.RowY(r)); dist < bestDist {
+				best, bestDist = r, dist
+			}
+			if delta == 0 {
+				break // base-delta == base+delta
+			}
+		}
+		if best >= 0 {
+			// A row one index further out could still be geometrically
+			// closer than the winner on the far side; check it before
+			// committing.
+			for _, r := range [2]int{base - delta - 1, base + delta + 1} {
+				if r < 0 || r > maxStart || !d.RailCompatible(c, r) {
+					continue
+				}
+				if dist := math.Abs(y - d.RowY(r)); dist < bestDist {
+					best, bestDist = r, dist
+				}
+			}
+			return best
+		}
+	}
+	return -1
+}
+
+// Clone returns a deep copy of the design (cells and nets included) so a
+// legalizer can be run without mutating the input.
+func (d *Design) Clone() *Design {
+	out := &Design{
+		Name:      d.Name,
+		Core:      d.Core,
+		RowHeight: d.RowHeight,
+		SiteW:     d.SiteW,
+		Rows:      append([]Row(nil), d.Rows...),
+		Cells:     make([]*Cell, len(d.Cells)),
+		Nets:      make([]Net, len(d.Nets)),
+	}
+	for i, c := range d.Cells {
+		cc := *c
+		out.Cells[i] = &cc
+	}
+	for i, n := range d.Nets {
+		out.Nets[i] = Net{Name: n.Name, Pins: append([]Pin(nil), n.Pins...)}
+	}
+	return out
+}
+
+// ResetToGlobal restores every movable cell to its global-placement position.
+func (d *Design) ResetToGlobal() {
+	for _, c := range d.Cells {
+		if !c.Fixed {
+			c.X, c.Y = c.GX, c.GY
+			c.Flipped = false
+		}
+	}
+}

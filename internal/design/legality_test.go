@@ -1,0 +1,219 @@
+package design
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func place(c *Cell, x, y float64) {
+	c.X, c.Y = x, y
+}
+
+func TestCheckLegalCleanPlacement(t *testing.T) {
+	d := smallDesign()
+	a := d.AddCell("a", 4, 10, VSS)
+	b := d.AddCell("b", 4, 20, VSS)
+	place(a, 0, 0)
+	place(b, 4, 0) // abuts a, starts on VSS row 0
+	rep := CheckLegal(d)
+	if !rep.Legal() {
+		t.Fatalf("expected legal, got %v", rep)
+	}
+}
+
+func TestCheckLegalOutsideCore(t *testing.T) {
+	d := smallDesign()
+	a := d.AddCell("a", 4, 10, VSS)
+	place(a, 98, 0) // extends to x=102 > 100
+	rep := CheckLegal(d)
+	if rep.Count(VOutsideCore) != 1 {
+		t.Errorf("outside-core = %d, want 1: %v", rep.Count(VOutsideCore), rep)
+	}
+}
+
+func TestCheckLegalOffSiteOffRow(t *testing.T) {
+	d := smallDesign()
+	a := d.AddCell("a", 4, 10, VSS)
+	place(a, 3.5, 0)
+	if rep := CheckLegal(d); rep.Count(VOffSite) != 1 {
+		t.Errorf("off-site: %v", rep)
+	}
+	place(a, 3, 5)
+	if rep := CheckLegal(d); rep.Count(VOffRow) != 1 {
+		t.Errorf("off-row: %v", rep)
+	}
+}
+
+func TestCheckLegalRailMismatch(t *testing.T) {
+	d := smallDesign()
+	e := d.AddCell("e", 4, 20, VSS)
+	place(e, 0, 10) // row 1 is VDD but cell bottom is VSS
+	rep := CheckLegal(d)
+	if rep.Count(VRailMismatch) != 1 {
+		t.Errorf("rail mismatch = %d, want 1: %v", rep.Count(VRailMismatch), rep)
+	}
+	// An odd cell on any row is fine.
+	o := d.AddCell("o", 4, 10, VSS)
+	place(o, 10, 10)
+	rep = CheckLegal(d)
+	if rep.Count(VRailMismatch) != 1 {
+		t.Errorf("odd cell must not trigger rail violation: %v", rep)
+	}
+}
+
+func TestCheckLegalOverlap(t *testing.T) {
+	d := smallDesign()
+	a := d.AddCell("a", 6, 10, VSS)
+	b := d.AddCell("b", 6, 10, VSS)
+	place(a, 0, 0)
+	place(b, 4, 0)
+	rep := CheckLegal(d)
+	if rep.Count(VOverlap) != 1 {
+		t.Fatalf("overlap = %d, want 1: %v", rep.Count(VOverlap), rep)
+	}
+	// Multi-row overlap: double-height cell vs single in its upper row.
+	c := d.AddCell("c", 6, 20, VSS)
+	e := d.AddCell("e", 6, 10, VSS)
+	place(c, 20, 0)
+	place(e, 22, 10) // overlaps c's upper half
+	rep = CheckLegal(d)
+	if rep.Count(VOverlap) != 2 {
+		t.Errorf("overlap = %d, want 2: %v", rep.Count(VOverlap), rep)
+	}
+}
+
+func TestCheckLegalAbuttingNotOverlap(t *testing.T) {
+	d := smallDesign()
+	a := d.AddCell("a", 5, 10, VSS)
+	b := d.AddCell("b", 5, 10, VSS)
+	place(a, 0, 0)
+	place(b, 5, 0)
+	if rep := CheckLegal(d); !rep.Legal() {
+		t.Errorf("abutting cells flagged: %v", rep)
+	}
+}
+
+func TestCheckLegalFixedCellsExemptButCollide(t *testing.T) {
+	d := smallDesign()
+	f := d.AddCell("f", 4, 10, VSS)
+	f.Fixed = true
+	place(f, 0.5, 3) // off grid — but fixed, so no off-site/off-row violation
+	a := d.AddCell("a", 4, 10, VSS)
+	place(a, 0, 0) // overlaps the fixed cell
+	rep := CheckLegal(d)
+	if rep.Count(VOffSite) != 0 || rep.Count(VOffRow) != 0 {
+		t.Errorf("fixed cell should be exempt from alignment: %v", rep)
+	}
+	if rep.Count(VOverlap) != 1 {
+		t.Errorf("fixed cell must still participate in overlap: %v", rep)
+	}
+}
+
+func TestOccupancyPlaceRemoveFits(t *testing.T) {
+	d := smallDesign()
+	a := d.AddCell("a", 4, 20, VSS)
+	o := NewOccupancy(d)
+	if !o.Fits(a, 10, 0) {
+		t.Fatal("empty grid should fit")
+	}
+	if err := o.Place(a, 10, 0); err != nil {
+		t.Fatal(err)
+	}
+	if o.OwnerAt(0, 10) != a.ID || o.OwnerAt(1, 13) != a.ID {
+		t.Error("occupancy not recorded across both rows")
+	}
+	if o.OwnerAt(0, 14) != -1 {
+		t.Error("site past cell end should be free")
+	}
+	b := d.AddCell("b", 4, 10, VSS)
+	if o.Fits(b, 12, 10) {
+		t.Error("upper-row conflict not detected")
+	}
+	if err := o.Place(b, 12, 10); err == nil {
+		t.Error("Place must fail on conflict")
+	}
+	if o.UsedSites() != 8 {
+		t.Errorf("UsedSites = %d, want 8", o.UsedSites())
+	}
+	o.Remove(a, 10, 0)
+	if o.UsedSites() != 0 {
+		t.Error("Remove left occupied sites")
+	}
+	if !o.Fits(b, 12, 10) {
+		t.Error("grid should be free after removal")
+	}
+}
+
+func TestOccupancyOffGridRejected(t *testing.T) {
+	d := smallDesign()
+	a := d.AddCell("a", 4, 10, VSS)
+	o := NewOccupancy(d)
+	if o.Fits(a, 0.5, 0) {
+		t.Error("off-site position must not fit")
+	}
+	if o.Fits(a, 0, 5) {
+		t.Error("off-row position must not fit")
+	}
+	if o.Fits(a, 98, 0) {
+		t.Error("position crossing right boundary must not fit")
+	}
+	if err := o.Place(a, 0.5, 0); err == nil {
+		t.Error("Place must reject off-grid position")
+	}
+}
+
+func TestOccupancyFreeRun(t *testing.T) {
+	d := smallDesign()
+	a := d.AddCell("a", 4, 10, VSS)
+	o := NewOccupancy(d)
+	if err := o.Place(a, 10, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !o.FreeRun(0, 1, 0, 10) {
+		t.Error("sites left of the cell should be free")
+	}
+	if o.FreeRun(0, 1, 8, 12) {
+		t.Error("run crossing the cell should not be free")
+	}
+	if o.FreeRun(-1, 1, 0, 1) || o.FreeRun(0, 1, 95, 105) {
+		t.Error("out-of-range runs must be rejected")
+	}
+}
+
+// Property-style randomized test: place random non-overlapping cells via the
+// occupancy grid, then CheckLegal must agree the placement is legal.
+func TestOccupancyAndCheckerAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 20; trial++ {
+		d := smallDesign()
+		o := NewOccupancy(d)
+		for i := 0; i < 60; i++ {
+			span := 1 + rng.Intn(2)
+			c := d.AddCell("c", float64(1+rng.Intn(6)), float64(span)*d.RowHeight, VSS)
+			placed := false
+			for try := 0; try < 30 && !placed; try++ {
+				row := rng.Intn(len(d.Rows) - span + 1)
+				if c.EvenSpan() && !d.RailCompatible(c, row) {
+					continue
+				}
+				x := float64(rng.Intn(d.Rows[0].NumSites - int(c.W)))
+				y := d.RowY(row)
+				if o.Fits(c, x, y) {
+					if err := o.Place(c, x, y); err != nil {
+						t.Fatal(err)
+					}
+					place(c, x, y)
+					placed = true
+				}
+			}
+			if !placed {
+				// Park it legally at a guaranteed-free spot or drop it.
+				d.Cells = d.Cells[:len(d.Cells)-1]
+			}
+		}
+		rep := CheckLegal(d)
+		if !rep.Legal() {
+			t.Fatalf("trial %d: occupancy-based placement flagged illegal: %v", trial, rep)
+		}
+	}
+}

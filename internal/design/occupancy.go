@@ -1,0 +1,190 @@
+package design
+
+import (
+	"fmt"
+	"math"
+)
+
+// Occupancy is a per-row site-occupancy grid. Entry (row, site) holds the
+// ID+1 of the occupying cell, or 0 when free, so overlaps are detected on
+// insertion and the grid doubles as a reverse index for debugging.
+type Occupancy struct {
+	d     *Design
+	grid  [][]int32 // grid[row][site]
+	sites int
+}
+
+// NewOccupancy allocates an empty grid for the design.
+func NewOccupancy(d *Design) *Occupancy {
+	o := &Occupancy{d: d, sites: 0}
+	o.grid = make([][]int32, len(d.Rows))
+	for i, r := range d.Rows {
+		o.grid[i] = make([]int32, r.NumSites)
+		if r.NumSites > o.sites {
+			o.sites = r.NumSites
+		}
+	}
+	return o
+}
+
+// cellSpan converts a cell position to (rowStart, rowEnd, siteStart, siteEnd)
+// half-open index ranges. Returns an error if the position is off-grid or
+// outside the core.
+func (o *Occupancy) cellSpan(c *Cell, x, y float64) (r0, r1, s0, s1 int, err error) {
+	d := o.d
+	fr := (y - d.Core.Lo.Y) / d.RowHeight
+	r0 = int(math.Round(fr))
+	if math.Abs(fr-float64(r0)) > 1e-6 {
+		return 0, 0, 0, 0, fmt.Errorf("cell %d: y=%g not on a row boundary", c.ID, y)
+	}
+	fs := (x - d.Core.Lo.X) / d.SiteW
+	s0 = int(math.Round(fs))
+	if math.Abs(fs-float64(s0)) > 1e-6 {
+		return 0, 0, 0, 0, fmt.Errorf("cell %d: x=%g not on a site boundary", c.ID, x)
+	}
+	r1 = r0 + c.RowSpan
+	nw := int(math.Ceil(c.W/d.SiteW - 1e-9))
+	s1 = s0 + nw
+	if r0 < 0 || r1 > len(d.Rows) {
+		return 0, 0, 0, 0, fmt.Errorf("cell %d: rows [%d,%d) outside core", c.ID, r0, r1)
+	}
+	if s0 < 0 || s1 > d.Rows[r0].NumSites {
+		return 0, 0, 0, 0, fmt.Errorf("cell %d: sites [%d,%d) outside row", c.ID, s0, s1)
+	}
+	return r0, r1, s0, s1, nil
+}
+
+// Place marks the sites covered by cell c at position (x, y) as occupied.
+// It fails without modifying the grid if any covered site is already
+// occupied or the position is off-grid.
+func (o *Occupancy) Place(c *Cell, x, y float64) error {
+	r0, r1, s0, s1, err := o.cellSpan(c, x, y)
+	if err != nil {
+		return err
+	}
+	for r := r0; r < r1; r++ {
+		for s := s0; s < s1; s++ {
+			if o.grid[r][s] != 0 {
+				return fmt.Errorf("cell %d: site (row %d, site %d) already occupied by cell %d",
+					c.ID, r, s, o.grid[r][s]-1)
+			}
+		}
+	}
+	id := int32(c.ID + 1)
+	for r := r0; r < r1; r++ {
+		for s := s0; s < s1; s++ {
+			o.grid[r][s] = id
+		}
+	}
+	return nil
+}
+
+// Remove clears the sites covered by cell c at position (x, y). Sites not
+// owned by c are left untouched.
+func (o *Occupancy) Remove(c *Cell, x, y float64) {
+	r0, r1, s0, s1, err := o.cellSpan(c, x, y)
+	if err != nil {
+		return
+	}
+	id := int32(c.ID + 1)
+	for r := r0; r < r1; r++ {
+		for s := s0; s < s1; s++ {
+			if o.grid[r][s] == id {
+				o.grid[r][s] = 0
+			}
+		}
+	}
+}
+
+// Fits reports whether cell c can be placed at (x, y): on-grid, inside the
+// core, and with every covered site free.
+func (o *Occupancy) Fits(c *Cell, x, y float64) bool {
+	r0, r1, s0, s1, err := o.cellSpan(c, x, y)
+	if err != nil {
+		return false
+	}
+	for r := r0; r < r1; r++ {
+		for s := s0; s < s1; s++ {
+			if o.grid[r][s] != 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// FreeRun reports whether sites [s0, s1) are free in all rows [r0, r1).
+func (o *Occupancy) FreeRun(r0, r1, s0, s1 int) bool {
+	if r0 < 0 || r1 > len(o.grid) {
+		return false
+	}
+	for r := r0; r < r1; r++ {
+		if s0 < 0 || s1 > len(o.grid[r]) {
+			return false
+		}
+		for s := s0; s < s1; s++ {
+			if o.grid[r][s] != 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// OwnerAt returns the cell ID occupying (row, site), or -1 if free.
+func (o *Occupancy) OwnerAt(row, site int) int {
+	if row < 0 || row >= len(o.grid) || site < 0 || site >= len(o.grid[row]) {
+		return -1
+	}
+	if v := o.grid[row][site]; v != 0 {
+		return int(v - 1)
+	}
+	return -1
+}
+
+// BlockArea marks every site the rectangle [x, x+w) x [y, y+h) touches as
+// occupied by the given cell ID, regardless of grid alignment. It is used
+// for fixed cells and blockages, which need not be site-aligned. Already
+// occupied sites are left as they are.
+func (o *Occupancy) BlockArea(cellID int, x, y, w, h float64) {
+	d := o.d
+	r0 := int(math.Floor((y - d.Core.Lo.Y) / d.RowHeight))
+	r1 := int(math.Ceil((y+h-d.Core.Lo.Y)/d.RowHeight - 1e-9))
+	s0 := int(math.Floor((x - d.Core.Lo.X) / d.SiteW))
+	s1 := int(math.Ceil((x+w-d.Core.Lo.X)/d.SiteW - 1e-9))
+	id := int32(cellID + 1)
+	for r := maxInt(0, r0); r < minInt(len(o.grid), r1); r++ {
+		for s := maxInt(0, s0); s < minInt(len(o.grid[r]), s1); s++ {
+			if o.grid[r][s] == 0 {
+				o.grid[r][s] = id
+			}
+		}
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// UsedSites returns the total number of occupied sites.
+func (o *Occupancy) UsedSites() int {
+	n := 0
+	for _, row := range o.grid {
+		for _, v := range row {
+			if v != 0 {
+				n++
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,108 @@
+package design
+
+import "math"
+
+// NearestFree searches for the free on-grid position nearest to (tx, ty)
+// in squared-Euclidean distance where cell c fits: rail-compatible start
+// rows are scanned outward by |Δy|, and within each row sites are scanned
+// outward from the snapped target, pruned once the row's vertical distance
+// alone exceeds the best cost found. Returns ok == false when no free run
+// of the required width exists anywhere.
+func NearestFree(d *Design, occ *Occupancy, c *Cell, tx, ty float64) (x, y float64, ok bool) {
+	bestCost := math.Inf(1)
+	var bestX, bestY float64
+	found := false
+
+	baseRow := d.RowAt(ty + d.RowHeight/2)
+	maxStart := len(d.Rows) - c.RowSpan
+	if maxStart < 0 {
+		return 0, 0, false
+	}
+	if baseRow < 0 {
+		if ty < d.Core.Lo.Y {
+			baseRow = 0
+		} else {
+			baseRow = maxStart
+		}
+	}
+	if baseRow > maxStart {
+		baseRow = maxStart
+	}
+	widthSites := int(math.Ceil(c.W/d.SiteW - 1e-9))
+
+	for delta := 0; delta <= len(d.Rows); delta++ {
+		progressed := false
+		for _, row := range [2]int{baseRow - delta, baseRow + delta} {
+			if row < 0 || row > maxStart {
+				continue
+			}
+			progressed = true
+			if !d.RailCompatible(c, row) {
+				continue
+			}
+			y := d.RowY(row)
+			dy := y - ty
+			if dy*dy >= bestCost {
+				continue
+			}
+			if x, ok := scanRowForRun(d, occ, c, row, tx, bestCost-dy*dy, widthSites); ok {
+				dx := x - tx
+				if cost := dx*dx + dy*dy; cost < bestCost {
+					bestCost, bestX, bestY, found = cost, x, y, true
+				}
+			}
+			if delta == 0 {
+				break
+			}
+		}
+		if !progressed && delta > 0 {
+			break
+		}
+		if found {
+			dy := float64(delta) * d.RowHeight
+			if dy*dy > bestCost {
+				break
+			}
+		}
+	}
+	return bestX, bestY, found
+}
+
+// scanRowForRun finds the free run of widthSites sites starting at row
+// whose left edge is nearest to tx, with squared horizontal distance below
+// maxCostSq. The run must be free in all of the cell's spanned rows.
+func scanRowForRun(d *Design, occ *Occupancy, c *Cell, row int, tx float64, maxCostSq float64, widthSites int) (float64, bool) {
+	r := &d.Rows[row]
+	target := int(math.Round((tx - r.OriginX) / r.SiteW))
+	maxStartSite := r.NumSites - widthSites
+	if maxStartSite < 0 {
+		return 0, false
+	}
+	if target < 0 {
+		target = 0
+	}
+	if target > maxStartSite {
+		target = maxStartSite
+	}
+	r0, r1 := row, row+c.RowSpan
+	check := func(s int) bool {
+		return occ.FreeRun(r0, r1, s, s+widthSites)
+	}
+	for delta := 0; ; delta++ {
+		dx := float64(delta) * r.SiteW
+		if dx*dx >= maxCostSq {
+			return 0, false
+		}
+		if s := target - delta; s >= 0 && check(s) {
+			return r.OriginX + float64(s)*r.SiteW, true
+		}
+		if delta > 0 {
+			if s := target + delta; s <= maxStartSite && check(s) {
+				return r.OriginX + float64(s)*r.SiteW, true
+			}
+		}
+		if target-delta < 0 && target+delta > maxStartSite {
+			return 0, false
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package design
+
+import "testing"
+
+func TestNearestFreePrefersCloserRun(t *testing.T) {
+	d := NewDesign(Config{NumRows: 1, NumSites: 100, RowHeight: 10, SiteW: 1})
+	blocker := d.AddCell("a", 10, 10, VSS)
+	occ := NewOccupancy(d)
+	if err := occ.Place(blocker, 10, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Target site 12 (inside the blocker). A width-5 run fits at [5,10)
+	// (left edge distance 7) or [20,25) (distance 8): left wins.
+	c := d.AddCell("b", 5, 10, VSS)
+	x, y, ok := NearestFree(d, occ, c, 12, 0)
+	if !ok {
+		t.Fatal("no position found")
+	}
+	if x != 5 || y != 0 {
+		t.Errorf("got (%g, %g), want (5, 0)", x, y)
+	}
+}
+
+func TestNearestFreeRailCompatibleRowsOnly(t *testing.T) {
+	d := NewDesign(Config{NumRows: 6, NumSites: 30, RowHeight: 10, SiteW: 1})
+	occ := NewOccupancy(d)
+	// Double-height VDD-bottom cell: legal start rows are 1, 3 (VDD).
+	c := d.AddCell("dc", 4, 20, VDD)
+	x, y, ok := NearestFree(d, occ, c, 0, 0)
+	if !ok {
+		t.Fatal("no position found")
+	}
+	row := d.RowAt(y + 1)
+	if d.Rows[row].Rail != VDD {
+		t.Errorf("placed on %v rail row %d", d.Rows[row].Rail, row)
+	}
+	if x != 0 {
+		t.Errorf("x = %g, want 0", x)
+	}
+}
+
+func TestNearestFreeFullGrid(t *testing.T) {
+	d := NewDesign(Config{NumRows: 1, NumSites: 10, RowHeight: 10, SiteW: 1})
+	blocker := d.AddCell("a", 10, 10, VSS)
+	occ := NewOccupancy(d)
+	if err := occ.Place(blocker, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	c := d.AddCell("b", 2, 10, VSS)
+	if _, _, ok := NearestFree(d, occ, c, 0, 0); ok {
+		t.Error("found a position on a full grid")
+	}
+}
+
+func TestNearestFreeOversizedCell(t *testing.T) {
+	d := NewDesign(Config{NumRows: 2, NumSites: 10, RowHeight: 10, SiteW: 1})
+	occ := NewOccupancy(d)
+	c := d.AddCell("tall", 4, 10, VSS)
+	c.RowSpan = 5 // taller than the core
+	if _, _, ok := NearestFree(d, occ, c, 0, 0); ok {
+		t.Error("found a position for an oversized cell")
+	}
+	wide := d.AddCell("wide", 20, 10, VSS)
+	if _, _, ok := NearestFree(d, occ, wide, 0, 0); ok {
+		t.Error("found a position for an over-wide cell")
+	}
+}
+
+func TestNearestFreeTargetOutsideCore(t *testing.T) {
+	d := NewDesign(Config{NumRows: 4, NumSites: 20, RowHeight: 10, SiteW: 1})
+	occ := NewOccupancy(d)
+	c := d.AddCell("c", 4, 10, VSS)
+	// Target far below and left of the core: clamps to row 0, site 0.
+	x, y, ok := NearestFree(d, occ, c, -100, -100)
+	if !ok {
+		t.Fatal("no position found")
+	}
+	if x != 0 || y != 0 {
+		t.Errorf("got (%g, %g), want (0, 0)", x, y)
+	}
+	// Above the core: clamps to the top row.
+	_, y, ok = NearestFree(d, occ, c, 0, 1000)
+	if !ok {
+		t.Fatal("no position found")
+	}
+	if y != 30 {
+		t.Errorf("y = %g, want 30", y)
+	}
+}

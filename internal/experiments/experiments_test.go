@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// Small, fast configuration: three benchmarks at 0.4% scale.
+func smallCfg() Config {
+	return Config{
+		Scale:      0.004,
+		Benchmarks: []string{"fft_2", "pci_bridge32_b", "des_perf_b"},
+	}
+}
+
+func TestTable1SmallSuite(t *testing.T) {
+	rows, err := Table1(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	for _, r := range rows {
+		if r.SCells == 0 || r.DCells == 0 {
+			t.Errorf("%s: zero cell counts", r.Name)
+		}
+		if r.IllegalPct < 0 || r.IllegalPct > 100 {
+			t.Errorf("%s: illegal pct %g out of range", r.Name, r.IllegalPct)
+		}
+		// The qualitative Table 1 claim: low-density benchmarks need very
+		// few repairs.
+		if r.Density < 0.55 && r.IllegalPct > 5 {
+			t.Errorf("%s: %g%% illegal at density %.2f", r.Name, r.IllegalPct, r.Density)
+		}
+	}
+	out := FormatTable1(rows)
+	if !strings.Contains(out, "fft_2") || !strings.Contains(out, "Average") {
+		t.Errorf("formatted table missing rows:\n%s", out)
+	}
+}
+
+func TestTable2SmallSuite(t *testing.T) {
+	rows, err := Table2(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		for m, res := range r.Results {
+			if res.Err != "" {
+				t.Errorf("%s/%s: %s", r.Name, m, res.Err)
+				continue
+			}
+			if !res.Legal {
+				t.Errorf("%s/%s: illegal result", r.Name, m)
+			}
+			if res.DispSites <= 0 {
+				t.Errorf("%s/%s: nonpositive displacement", r.Name, m)
+			}
+		}
+	}
+	// The Table 2 shape: our displacement beats or matches the greedy
+	// DAC'16 baseline on average.
+	norm := NormalizedAverages(rows)
+	if norm[MethodDAC16][0] < 1.0 {
+		t.Errorf("DAC'16 normalized displacement %.3f < 1: ours should win on average", norm[MethodDAC16][0])
+	}
+	if norm[MethodOurs][0] != 1 {
+		t.Errorf("Ours normalized to %g, want 1", norm[MethodOurs][0])
+	}
+	out := FormatTable2(rows)
+	if !strings.Contains(out, "N. Average") {
+		t.Errorf("formatted table missing footer:\n%s", out)
+	}
+}
+
+func TestSingleRowExperiment(t *testing.T) {
+	rows, err := SingleRow(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if !r.MMSIMConverge {
+			t.Errorf("%s: MMSIM did not converge", r.Name)
+		}
+		// Section 5.3: identical displacement up to solver tolerance.
+		if r.RelDiff > 1e-3 {
+			t.Errorf("%s: MMSIM %.2f vs PlaceRow %.2f (rel %g)",
+				r.Name, r.DispMMSIM, r.DispPlaceRow, r.RelDiff)
+		}
+	}
+	out := FormatSingleRow(rows)
+	if !strings.Contains(out, "runtime ratio") {
+		t.Errorf("formatted output missing summary:\n%s", out)
+	}
+}
+
+func TestConfigUnknownBenchmark(t *testing.T) {
+	if _, err := Table1(Config{Benchmarks: []string{"nope"}}); err == nil {
+		t.Error("expected error for unknown benchmark")
+	}
+}

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"mclg/internal/core"
+)
+
+func TestNoiseSensitivityMonotoneDisplacement(t *testing.T) {
+	rows, err := NoiseSensitivity("fft_2", 0.004, []float64{0.5, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	for _, r := range rows {
+		for m, disp := range r.Disp {
+			if disp < 0 {
+				t.Errorf("level %g method %s errored", r.Level, m)
+			}
+			if !r.Legal[m] {
+				t.Errorf("level %g method %s produced illegal result", r.Level, m)
+			}
+		}
+	}
+	// More noise means more displacement for every method.
+	for _, m := range Methods {
+		if rows[1].Disp[m] <= rows[0].Disp[m] {
+			t.Errorf("%s: displacement did not grow with noise (%g -> %g)",
+				m, rows[0].Disp[m], rows[1].Disp[m])
+		}
+	}
+	out := FormatNoise(rows)
+	if !strings.Contains(out, "ours/ASP-DAC") {
+		t.Errorf("missing ratio column:\n%s", out)
+	}
+}
+
+func TestNoiseSensitivityUnknownBenchmark(t *testing.T) {
+	if _, err := NoiseSensitivity("nope", 0.01, []float64{1}); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestConvergenceTraceDecreases(t *testing.T) {
+	trace, err := ConvergenceTrace("fft_2", 0.004, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) < 5 {
+		t.Fatalf("trace too short: %d", len(trace))
+	}
+	// The step norm at the end must be far below the early iterations.
+	early := trace[1].Step
+	late := trace[len(trace)-1].Step
+	if late > early/10 {
+		t.Errorf("no convergence visible: early %g, late %g", early, late)
+	}
+	// Iterations are sequential from 0.
+	for i, pt := range trace {
+		if pt.Iter != i {
+			t.Fatalf("trace[%d].Iter = %d", i, pt.Iter)
+		}
+	}
+	short := FormatConvergence(trace, false)
+	if !strings.Contains(short, "iterations total") {
+		t.Errorf("summary missing:\n%s", short)
+	}
+	full := FormatConvergence(trace, true)
+	if lines := strings.Count(full, "\n"); lines != len(trace)+1 {
+		t.Errorf("CSV dump has %d lines, want %d", lines, len(trace)+1)
+	}
+}
+
+func TestParamSweepGrid(t *testing.T) {
+	betas := []float64{0.25, 0.5}
+	thetas := []float64{0.5, 1.0}
+	pts, err := ParamSweep("fft_2", 0.004, betas, thetas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("points = %d, want 4", len(pts))
+	}
+	// The paper's default must converge.
+	for _, pt := range pts {
+		if pt.Beta == 0.5 && pt.Theta == 0.5 {
+			if !pt.Converged || pt.Diverged {
+				t.Errorf("paper default (0.5, 0.5) did not converge: %+v", pt)
+			}
+		}
+	}
+	out := FormatParamSweep(pts, betas, thetas)
+	if !strings.Contains(out, "0.25") {
+		t.Errorf("grid missing rows:\n%s", out)
+	}
+}

@@ -1,0 +1,288 @@
+package gen
+
+import (
+	"math"
+	"testing"
+
+	"mclg/internal/design"
+)
+
+func TestGenerateBasicShape(t *testing.T) {
+	d, err := Generate(Spec{Name: "t", SingleCells: 200, DoubleCells: 20, Density: 0.5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Cells) != 220 {
+		t.Fatalf("cells = %d, want 220", len(d.Cells))
+	}
+	singles, doubles := 0, 0
+	for _, c := range d.Cells {
+		switch c.RowSpan {
+		case 1:
+			singles++
+		case 2:
+			doubles++
+		default:
+			t.Fatalf("unexpected span %d", c.RowSpan)
+		}
+		b := c.GlobalBounds()
+		if !d.Core.ContainsRect(b) {
+			t.Errorf("cell %d GP outside core: %v vs %v", c.ID, b, d.Core)
+		}
+	}
+	if singles != 200 || doubles != 20 {
+		t.Errorf("singles/doubles = %d/%d, want 200/20", singles, doubles)
+	}
+	// Density within a reasonable band of the target.
+	if got := d.Density(); math.Abs(got-0.5) > 0.08 {
+		t.Errorf("density = %g, want ~0.5", got)
+	}
+	if len(d.Nets) == 0 {
+		t.Error("no nets generated")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := Spec{Name: "t", SingleCells: 100, DoubleCells: 10, Density: 0.4, Seed: 7}
+	a, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Cells) != len(b.Cells) || len(a.Nets) != len(b.Nets) {
+		t.Fatal("sizes differ between runs")
+	}
+	for i := range a.Cells {
+		ca, cb := a.Cells[i], b.Cells[i]
+		if ca.GX != cb.GX || ca.GY != cb.GY || ca.W != cb.W || ca.H != cb.H {
+			t.Fatalf("cell %d differs between identical runs", i)
+		}
+	}
+	for i := range a.Nets {
+		if len(a.Nets[i].Pins) != len(b.Nets[i].Pins) {
+			t.Fatalf("net %d differs", i)
+		}
+	}
+}
+
+func TestGenerateSeedChangesPlacement(t *testing.T) {
+	a, _ := Generate(Spec{Name: "t", SingleCells: 100, DoubleCells: 10, Density: 0.4, Seed: 1})
+	b, _ := Generate(Spec{Name: "t", SingleCells: 100, DoubleCells: 10, Density: 0.4, Seed: 2})
+	same := 0
+	for i := range a.Cells {
+		if a.Cells[i].GX == b.Cells[i].GX {
+			same++
+		}
+	}
+	if same == len(a.Cells) {
+		t.Error("different seeds produced identical placements")
+	}
+}
+
+func TestGenerateDoubleCellsAreaPreserved(t *testing.T) {
+	// Doubles have halved width (rounded up to a site) and doubled height.
+	d, err := Generate(Spec{Name: "t", SingleCells: 10, DoubleCells: 50, Density: 0.4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range d.Cells {
+		if c.RowSpan != 2 {
+			continue
+		}
+		if c.H != 2*d.RowHeight {
+			t.Errorf("double cell height %g", c.H)
+		}
+		if c.W < 2 || c.W > 6 {
+			t.Errorf("double cell width %g out of [2, 6]", c.W)
+		}
+	}
+}
+
+func TestGenerateDoublesRailMatchesSeedRow(t *testing.T) {
+	// Doubles must carry a rail matching their seed row so the GP is
+	// mostly rail-consistent.
+	d, err := Generate(Spec{Name: "t", SingleCells: 50, DoubleCells: 30, Density: 0.4, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	consistent := 0
+	total := 0
+	for _, c := range d.Cells {
+		if c.RowSpan != 2 {
+			continue
+		}
+		total++
+		if r := d.NearestCorrectRow(c, c.GY); r >= 0 {
+			// The nearest correct row should usually be within one row of
+			// the geometric nearest.
+			if math.Abs(d.RowY(r)-c.GY) <= 2*d.RowHeight {
+				consistent++
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no doubles")
+	}
+	if float64(consistent)/float64(total) < 0.9 {
+		t.Errorf("only %d/%d doubles near a compatible row", consistent, total)
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(Spec{Name: "t", Density: 0.5}); err == nil {
+		t.Error("expected error for zero cells")
+	}
+	if _, err := Generate(Spec{Name: "t", SingleCells: 10, Density: 0}); err == nil {
+		t.Error("expected error for zero density")
+	}
+	if _, err := Generate(Spec{Name: "t", SingleCells: 10, Density: 1.5}); err == nil {
+		t.Error("expected error for density > 1")
+	}
+}
+
+func TestNetsAreLocal(t *testing.T) {
+	d, err := Generate(Spec{Name: "t", SingleCells: 500, DoubleCells: 50, Density: 0.5, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Median net bounding box should be much smaller than the core width.
+	var spans []float64
+	for _, n := range d.Nets {
+		minX, maxX := math.Inf(1), math.Inf(-1)
+		for _, p := range n.Pins {
+			x := d.Cells[p.CellID].GX + p.DX
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+		}
+		spans = append(spans, maxX-minX)
+	}
+	if len(spans) == 0 {
+		t.Fatal("no nets")
+	}
+	// Rough central tendency: count nets spanning less than half the core.
+	local := 0
+	for _, s := range spans {
+		if s < d.Core.W()/2 {
+			local++
+		}
+	}
+	if float64(local)/float64(len(spans)) < 0.8 {
+		t.Errorf("only %d/%d nets are local", local, len(spans))
+	}
+}
+
+func TestSuiteEntries(t *testing.T) {
+	if len(Suite) != 20 {
+		t.Fatalf("suite has %d entries, want 20", len(Suite))
+	}
+	seen := map[string]bool{}
+	for _, e := range Suite {
+		if seen[e.Name] {
+			t.Errorf("duplicate benchmark %s", e.Name)
+		}
+		seen[e.Name] = true
+		if e.SingleCells <= 0 || e.DoubleCells <= 0 || e.Density <= 0 || e.Density >= 1 {
+			t.Errorf("bad entry %+v", e)
+		}
+	}
+	if _, err := FindEntry("fft_2"); err != nil {
+		t.Error(err)
+	}
+	if _, err := FindEntry("nope"); err == nil {
+		t.Error("expected error for unknown benchmark")
+	}
+}
+
+func TestSuiteSpecScaling(t *testing.T) {
+	e, _ := FindEntry("fft_2")
+	s := SuiteSpec(e, 0.01)
+	if s.SingleCells != 302 || s.DoubleCells != 19 {
+		t.Errorf("scaled = %d/%d, want 302/19", s.SingleCells, s.DoubleCells)
+	}
+	if s.Seed == 0 {
+		t.Error("seed not derived")
+	}
+	s2 := SuiteSpec(e, 0.01)
+	if s2.Seed != s.Seed {
+		t.Error("seed not deterministic")
+	}
+	other := SuiteSpec(Suite[0], 0.01)
+	if other.Seed == s.Seed {
+		t.Error("different benchmarks share a seed")
+	}
+}
+
+func TestSingleHeightVariant(t *testing.T) {
+	e, _ := FindEntry("fft_2")
+	s := SuiteSpec(e, 0.01)
+	sv := SingleHeightVariant(s)
+	if sv.DoubleCells != 0 {
+		t.Error("variant still has doubles")
+	}
+	if sv.SingleCells != s.SingleCells+s.DoubleCells {
+		t.Error("cell count not preserved")
+	}
+	d, err := Generate(sv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range d.Cells {
+		if c.RowSpan != 1 {
+			t.Fatalf("variant produced a span-%d cell", c.RowSpan)
+		}
+	}
+}
+
+func TestGeneratedDesignLegalizable(t *testing.T) {
+	// Sanity: a generated benchmark can be swallowed by the occupancy
+	// machinery (all cells fit somewhere).
+	d, err := Generate(Spec{Name: "t", SingleCells: 300, DoubleCells: 30, Density: 0.6, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range d.Cells {
+		if r := d.NearestCorrectRow(c, c.GY); r < 0 {
+			t.Fatalf("cell %d has no compatible row", c.ID)
+		}
+	}
+	_ = design.CheckLegal(d) // must not panic on an overlapping GP
+}
+
+func TestGenerateFixedMacros(t *testing.T) {
+	d, err := Generate(Spec{
+		Name: "m", SingleCells: 200, DoubleCells: 20, FixedMacros: 4,
+		Density: 0.5, Seed: 61,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	macros := 0
+	for _, c := range d.Cells {
+		if !c.Fixed {
+			continue
+		}
+		macros++
+		if c.RowSpan < 2 {
+			t.Errorf("macro %d only %d rows tall", c.ID, c.RowSpan)
+		}
+		if !d.Core.ContainsRect(c.Bounds()) {
+			t.Errorf("macro %d outside core: %v", c.ID, c.Bounds())
+		}
+	}
+	if macros != 4 {
+		t.Fatalf("macros = %d, want 4", macros)
+	}
+	// Macros must not overlap each other.
+	for i, a := range d.Cells {
+		if !a.Fixed {
+			continue
+		}
+		for _, b := range d.Cells[i+1:] {
+			if b.Fixed && a.Bounds().Overlaps(b.Bounds()) {
+				t.Errorf("macros %d and %d overlap", a.ID, b.ID)
+			}
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package gen
+
+import "fmt"
+
+// SuiteEntry is one benchmark of the paper's evaluation suite with the
+// full-size statistics from Table 1.
+type SuiteEntry struct {
+	Name        string
+	SingleCells int     // "#S. Cell"
+	DoubleCells int     // "#D. Cell"
+	Density     float64 // "Density"
+}
+
+// Suite lists the 20 benchmarks of Table 1.
+var Suite = []SuiteEntry{
+	{"des_perf_1", 103842, 8802, 0.91},
+	{"des_perf_a", 99775, 8513, 0.43},
+	{"des_perf_b", 103842, 8802, 0.50},
+	{"edit_dist_a", 121913, 5500, 0.46},
+	{"fft_1", 30297, 1984, 0.84},
+	{"fft_2", 30297, 1984, 0.50},
+	{"fft_a", 28718, 1907, 0.25},
+	{"fft_b", 28718, 1907, 0.28},
+	{"matrix_mult_1", 152427, 2898, 0.80},
+	{"matrix_mult_2", 152427, 2898, 0.79},
+	{"matrix_mult_a", 146837, 2813, 0.42},
+	{"matrix_mult_b", 143695, 2740, 0.31},
+	{"matrix_mult_c", 143695, 2740, 0.31},
+	{"pci_bridge32_a", 26268, 3249, 0.38},
+	{"pci_bridge32_b", 25734, 3180, 0.14},
+	{"superblue11_a", 861314, 64302, 0.43},
+	{"superblue12", 1172586, 114362, 0.45},
+	{"superblue14", 564769, 47474, 0.56},
+	{"superblue16_a", 625419, 55031, 0.48},
+	{"superblue19", 478109, 27988, 0.52},
+}
+
+// FindEntry returns the suite entry with the given name.
+func FindEntry(name string) (SuiteEntry, error) {
+	for _, e := range Suite {
+		if e.Name == name {
+			return e, nil
+		}
+	}
+	return SuiteEntry{}, fmt.Errorf("gen: unknown benchmark %q", name)
+}
+
+// SuiteSpec builds a generation spec for a suite entry at the given scale
+// (1 = full size, 0.01 = 1% of the cells). Each benchmark gets a
+// deterministic seed derived from its name so results are reproducible.
+func SuiteSpec(e SuiteEntry, scale float64) Spec {
+	if scale <= 0 {
+		scale = 1
+	}
+	singles := int(float64(e.SingleCells) * scale)
+	doubles := int(float64(e.DoubleCells) * scale)
+	if singles < 1 {
+		singles = 1
+	}
+	if doubles < 1 {
+		doubles = 1
+	}
+	return Spec{
+		Name:        e.Name,
+		SingleCells: singles,
+		DoubleCells: doubles,
+		Density:     e.Density,
+		Seed:        nameSeed(e.Name),
+	}
+}
+
+// nameSeed derives a stable 63-bit seed from a benchmark name (FNV-1a).
+func nameSeed(name string) int64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= prime
+	}
+	return int64(h &^ (1 << 63))
+}

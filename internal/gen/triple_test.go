@@ -1,0 +1,36 @@
+package gen
+
+import "testing"
+
+func TestGenerateTripleHeight(t *testing.T) {
+	d, err := Generate(Spec{
+		Name: "t", SingleCells: 150, DoubleCells: 20, TripleCells: 15,
+		Density: 0.5, Seed: 81,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	triples := 0
+	for _, c := range d.Cells {
+		if c.RowSpan == 3 {
+			triples++
+			if c.H != 3*d.RowHeight {
+				t.Errorf("triple cell height %g", c.H)
+			}
+			if c.EvenSpan() {
+				t.Error("triple misclassified as even span")
+			}
+		}
+	}
+	if triples != 15 {
+		t.Errorf("triples = %d, want 15", triples)
+	}
+	// Every triple must have a compatible row somewhere (odd span: all rows).
+	for _, c := range d.Cells {
+		if c.RowSpan == 3 {
+			if r := d.NearestCorrectRow(c, c.GY); r < 0 {
+				t.Fatalf("triple %d has no row", c.ID)
+			}
+		}
+	}
+}

@@ -1,0 +1,211 @@
+// Package geom provides the small amount of planar geometry the legalizer
+// needs: points, closed-open intervals, and axis-aligned rectangles.
+//
+// All coordinates are float64 in database units. Rectangles and intervals
+// are half-open: [Lo, Hi) on each axis, so two shapes that merely touch do
+// not overlap. This matches the placement convention where a cell occupying
+// sites [10, 20) and a neighbor at [20, 30) abut legally.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a location in the plane.
+type Point struct {
+	X, Y float64
+}
+
+// Add returns p translated by q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns p - q.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// DistL1 returns the Manhattan distance between p and q.
+func (p Point) DistL1(q Point) float64 {
+	return math.Abs(p.X-q.X) + math.Abs(p.Y-q.Y)
+}
+
+// DistSq returns the squared Euclidean distance between p and q.
+func (p Point) DistSq(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return dx*dx + dy*dy
+}
+
+func (p Point) String() string { return fmt.Sprintf("(%g, %g)", p.X, p.Y) }
+
+// Interval is a half-open interval [Lo, Hi).
+type Interval struct {
+	Lo, Hi float64
+}
+
+// Len returns the length of the interval, or 0 if it is empty or inverted.
+func (iv Interval) Len() float64 {
+	if iv.Hi <= iv.Lo {
+		return 0
+	}
+	return iv.Hi - iv.Lo
+}
+
+// Empty reports whether the interval contains no points.
+func (iv Interval) Empty() bool { return iv.Hi <= iv.Lo }
+
+// Contains reports whether x lies in [Lo, Hi).
+func (iv Interval) Contains(x float64) bool { return x >= iv.Lo && x < iv.Hi }
+
+// ContainsInterval reports whether o lies entirely within iv.
+// An empty o is contained in everything.
+func (iv Interval) ContainsInterval(o Interval) bool {
+	if o.Empty() {
+		return true
+	}
+	return o.Lo >= iv.Lo && o.Hi <= iv.Hi
+}
+
+// Overlaps reports whether the two half-open intervals share any points.
+func (iv Interval) Overlaps(o Interval) bool {
+	return iv.Lo < o.Hi && o.Lo < iv.Hi && !iv.Empty() && !o.Empty()
+}
+
+// Intersect returns the common part of the two intervals (possibly empty).
+func (iv Interval) Intersect(o Interval) Interval {
+	return Interval{math.Max(iv.Lo, o.Lo), math.Min(iv.Hi, o.Hi)}
+}
+
+// Union returns the smallest interval covering both (the hull).
+func (iv Interval) Union(o Interval) Interval {
+	if iv.Empty() {
+		return o
+	}
+	if o.Empty() {
+		return iv
+	}
+	return Interval{math.Min(iv.Lo, o.Lo), math.Max(iv.Hi, o.Hi)}
+}
+
+// Clamp returns x restricted to [Lo, Hi].
+func (iv Interval) Clamp(x float64) float64 {
+	if x < iv.Lo {
+		return iv.Lo
+	}
+	if x > iv.Hi {
+		return iv.Hi
+	}
+	return x
+}
+
+func (iv Interval) String() string { return fmt.Sprintf("[%g, %g)", iv.Lo, iv.Hi) }
+
+// Rect is an axis-aligned rectangle, half-open on both axes:
+// [Lo.X, Hi.X) x [Lo.Y, Hi.Y).
+type Rect struct {
+	Lo, Hi Point
+}
+
+// NewRect builds a rectangle from a bottom-left corner and a size.
+func NewRect(x, y, w, h float64) Rect {
+	return Rect{Point{x, y}, Point{x + w, y + h}}
+}
+
+// W returns the width of the rectangle (0 if inverted).
+func (r Rect) W() float64 {
+	if r.Hi.X <= r.Lo.X {
+		return 0
+	}
+	return r.Hi.X - r.Lo.X
+}
+
+// H returns the height of the rectangle (0 if inverted).
+func (r Rect) H() float64 {
+	if r.Hi.Y <= r.Lo.Y {
+		return 0
+	}
+	return r.Hi.Y - r.Lo.Y
+}
+
+// Area returns W*H.
+func (r Rect) Area() float64 { return r.W() * r.H() }
+
+// Empty reports whether the rectangle encloses no area.
+func (r Rect) Empty() bool { return r.Hi.X <= r.Lo.X || r.Hi.Y <= r.Lo.Y }
+
+// XSpan returns the horizontal extent as an interval.
+func (r Rect) XSpan() Interval { return Interval{r.Lo.X, r.Hi.X} }
+
+// YSpan returns the vertical extent as an interval.
+func (r Rect) YSpan() Interval { return Interval{r.Lo.Y, r.Hi.Y} }
+
+// Contains reports whether the point lies inside the half-open rectangle.
+func (r Rect) Contains(p Point) bool {
+	return r.XSpan().Contains(p.X) && r.YSpan().Contains(p.Y)
+}
+
+// ContainsRect reports whether o lies entirely within r.
+func (r Rect) ContainsRect(o Rect) bool {
+	if o.Empty() {
+		return true
+	}
+	return r.XSpan().ContainsInterval(o.XSpan()) && r.YSpan().ContainsInterval(o.YSpan())
+}
+
+// Overlaps reports whether the two rectangles share interior area.
+func (r Rect) Overlaps(o Rect) bool {
+	return r.XSpan().Overlaps(o.XSpan()) && r.YSpan().Overlaps(o.YSpan())
+}
+
+// Intersect returns the common area of two rectangles (possibly empty).
+func (r Rect) Intersect(o Rect) Rect {
+	return Rect{
+		Point{math.Max(r.Lo.X, o.Lo.X), math.Max(r.Lo.Y, o.Lo.Y)},
+		Point{math.Min(r.Hi.X, o.Hi.X), math.Min(r.Hi.Y, o.Hi.Y)},
+	}
+}
+
+// Union returns the bounding box of the two rectangles.
+func (r Rect) Union(o Rect) Rect {
+	if r.Empty() {
+		return o
+	}
+	if o.Empty() {
+		return r
+	}
+	return Rect{
+		Point{math.Min(r.Lo.X, o.Lo.X), math.Min(r.Lo.Y, o.Lo.Y)},
+		Point{math.Max(r.Hi.X, o.Hi.X), math.Max(r.Hi.Y, o.Hi.Y)},
+	}
+}
+
+// Translate returns r shifted by (dx, dy).
+func (r Rect) Translate(dx, dy float64) Rect {
+	return Rect{Point{r.Lo.X + dx, r.Lo.Y + dy}, Point{r.Hi.X + dx, r.Hi.Y + dy}}
+}
+
+// MoveTo returns r with its bottom-left corner at (x, y), preserving size.
+func (r Rect) MoveTo(x, y float64) Rect {
+	return NewRect(x, y, r.W(), r.H())
+}
+
+// Center returns the centroid.
+func (r Rect) Center() Point {
+	return Point{(r.Lo.X + r.Hi.X) / 2, (r.Lo.Y + r.Hi.Y) / 2}
+}
+
+func (r Rect) String() string {
+	return fmt.Sprintf("[%g,%g %gx%g]", r.Lo.X, r.Lo.Y, r.W(), r.H())
+}
+
+// OverlapArea returns the interior area shared by two rectangles.
+func OverlapArea(a, b Rect) float64 {
+	inter := a.Intersect(b)
+	if inter.Empty() {
+		return 0
+	}
+	return inter.Area()
+}

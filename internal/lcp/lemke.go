@@ -1,0 +1,175 @@
+package lcp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"mclg/internal/dense"
+)
+
+// ErrRayTermination is returned when Lemke's algorithm terminates on a
+// secondary ray, i.e. it found no solution (the LCP may be infeasible for
+// this matrix class).
+var ErrRayTermination = errors.New("lcp: Lemke ray termination, no solution found")
+
+// Lemke solves LCP(q, A) by complementary pivoting on a dense tableau.
+// It is exponential in the worst case and O(n²) memory, so it is intended
+// as an exact reference for small instances (tests, ablations) — the
+// production path is MMSIM.
+//
+// For A positive semidefinite (which the saddle-point matrices of the
+// legalizer are: zᵀAz = xᵀHx ≥ 0) Lemke terminates with a solution whenever
+// one exists.
+func Lemke(a *dense.Matrix, q []float64) ([]float64, error) {
+	n := len(q)
+	if a.R != n || a.C != n {
+		return nil, fmt.Errorf("lcp: Lemke dimension mismatch: A %dx%d, q %d", a.R, a.C, n)
+	}
+	z := make([]float64, n)
+	// Trivial case: q >= 0 means z = 0, w = q.
+	minIdx, minVal := -1, 0.0
+	for i, v := range q {
+		if v < minVal {
+			minVal, minIdx = v, i
+		}
+	}
+	if minIdx < 0 {
+		return z, nil
+	}
+
+	// Tableau for the system  w − A z − e z0 = q.
+	// Columns: [0, n) = w, [n, 2n) = z, 2n = z0. rhs kept separately.
+	cols := 2*n + 1
+	t := dense.New(n, cols)
+	rhs := make([]float64, n)
+	copy(rhs, q)
+	for i := 0; i < n; i++ {
+		t.Set(i, i, 1)
+		for j := 0; j < n; j++ {
+			t.Set(i, n+j, -a.At(i, j))
+		}
+		t.Set(i, 2*n, -1)
+	}
+	basis := make([]int, n) // basis[i] = column index basic in row i
+	for i := range basis {
+		basis[i] = i // w_i
+	}
+
+	pivot := func(row, col int) {
+		piv := t.At(row, col)
+		inv := 1 / piv
+		for j := 0; j < cols; j++ {
+			t.Set(row, j, t.At(row, j)*inv)
+		}
+		rhs[row] *= inv
+		for i := 0; i < n; i++ {
+			if i == row {
+				continue
+			}
+			f := t.At(i, col)
+			if f == 0 {
+				continue
+			}
+			for j := 0; j < cols; j++ {
+				t.Set(i, j, t.At(i, j)-f*t.At(row, j))
+			}
+			rhs[i] -= f * rhs[row]
+		}
+		basis[row] = col
+	}
+
+	// First pivot: z0 enters, the most negative row leaves.
+	leavingCol := basis[minIdx]
+	pivot(minIdx, 2*n)
+	entering := complementOf(leavingCol, n)
+
+	maxPivots := 500 * (n + 10)
+	for iter := 0; iter < maxPivots; iter++ {
+		// Ratio test: leaving row minimizes rhs_i / t[i][entering] over
+		// positive tableau entries; ties prefer the z0 row so the algorithm
+		// terminates, then the lowest basis column for determinism.
+		row := -1
+		best := math.Inf(1)
+		for i := 0; i < n; i++ {
+			d := t.At(i, entering)
+			if d <= 1e-11 {
+				continue
+			}
+			r := rhs[i] / d
+			if r < best-1e-12 {
+				best, row = r, i
+			} else if r <= best+1e-12 && row >= 0 {
+				if basis[i] == 2*n || (basis[row] != 2*n && basis[i] < basis[row]) {
+					row = i
+				}
+			}
+		}
+		if row < 0 {
+			return nil, ErrRayTermination
+		}
+		leavingCol = basis[row]
+		pivot(row, entering)
+		if leavingCol == 2*n {
+			// z0 left the basis: read off the solution.
+			for i := 0; i < n; i++ {
+				if basis[i] >= n && basis[i] < 2*n {
+					z[basis[i]-n] = rhs[i]
+				}
+			}
+			return z, nil
+		}
+		entering = complementOf(leavingCol, n)
+	}
+	return nil, fmt.Errorf("lcp: Lemke exceeded %d pivots (likely cycling)", maxPivots)
+}
+
+// complementOf maps w_i <-> z_i column indices.
+func complementOf(col, n int) int {
+	if col < n {
+		return col + n
+	}
+	return col - n
+}
+
+// PGS runs projected Gauss–Seidel on LCP(q, A): a fixed-point reference
+// solver that converges for symmetric positive definite A. Returns the
+// iterate after convergence (max |Δz| < eps) or maxIter sweeps.
+func PGS(a *dense.Matrix, q []float64, eps float64, maxIter int) ([]float64, int, error) {
+	n := len(q)
+	if a.R != n || a.C != n {
+		return nil, 0, fmt.Errorf("lcp: PGS dimension mismatch")
+	}
+	for i := 0; i < n; i++ {
+		if a.At(i, i) <= 0 {
+			return nil, 0, fmt.Errorf("lcp: PGS requires positive diagonal, A[%d][%d] = %g", i, i, a.At(i, i))
+		}
+	}
+	if eps <= 0 {
+		eps = 1e-8
+	}
+	if maxIter <= 0 {
+		maxIter = 10000
+	}
+	z := make([]float64, n)
+	for it := 1; it <= maxIter; it++ {
+		maxd := 0.0
+		for i := 0; i < n; i++ {
+			s := q[i]
+			for j := 0; j < n; j++ {
+				if j != i {
+					s += a.At(i, j) * z[j]
+				}
+			}
+			zi := math.Max(0, -s/a.At(i, i))
+			if d := math.Abs(zi - z[i]); d > maxd {
+				maxd = d
+			}
+			z[i] = zi
+		}
+		if maxd < eps {
+			return z, it, nil
+		}
+	}
+	return z, maxIter, nil
+}

@@ -1,0 +1,85 @@
+package lcp
+
+import (
+	"fmt"
+
+	"mclg/internal/sparse"
+)
+
+// SORSplitting is the modulus-based successive-overrelaxation splitting of
+// Bai (2010): M = (1/α)(D − βL), N = M − A, with D = diag(A) and L the
+// strict lower triangle of A, and Ω = D. For α = β it is the modulus-based
+// SOR method (MSOR); α = β = 1 gives modulus-based Gauss–Seidel. For
+// H₊-matrices with α ∈ (0, 1] and β ∈ [0, α] the iteration converges, and
+// it typically needs far fewer sweeps than the Jacobi-like DiagSplitting.
+type SORSplitting struct {
+	a           *sparse.CSR
+	alpha, beta float64
+	diag        []float64 // D = Ω
+	// Lower-triangle structure of A extracted once: for each row, the
+	// column indices < row and their values.
+	lowPtr []int
+	lowCol []int
+	lowVal []float64
+}
+
+// NewSORSplitting builds the splitting. A must have positive diagonal.
+func NewSORSplitting(a *sparse.CSR, alpha, beta float64) (*SORSplitting, error) {
+	if alpha <= 0 {
+		return nil, fmt.Errorf("lcp: SOR alpha must be positive, got %g", alpha)
+	}
+	if beta < 0 {
+		return nil, fmt.Errorf("lcp: SOR beta must be nonnegative, got %g", beta)
+	}
+	n := a.Rows
+	s := &SORSplitting{a: a, alpha: alpha, beta: beta, diag: make([]float64, n)}
+	s.lowPtr = make([]int, n+1)
+	for i := 0; i < n; i++ {
+		diagSeen := false
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			j := a.ColIdx[k]
+			switch {
+			case j < i:
+				s.lowCol = append(s.lowCol, j)
+				s.lowVal = append(s.lowVal, a.Val[k])
+			case j == i:
+				s.diag[i] = a.Val[k]
+				diagSeen = true
+			}
+		}
+		if !diagSeen || s.diag[i] <= 0 {
+			return nil, fmt.Errorf("lcp: SOR requires positive diagonal, A[%d][%d] = %g", i, i, s.diag[i])
+		}
+		s.lowPtr[i+1] = len(s.lowCol)
+	}
+	return s, nil
+}
+
+// SolveMOmega solves ((1/α)(D − βL) + D) dst = rhs by forward substitution.
+func (s *SORSplitting) SolveMOmega(dst, rhs []float64) {
+	invA := 1 / s.alpha
+	for i := range dst {
+		acc := rhs[i]
+		for k := s.lowPtr[i]; k < s.lowPtr[i+1]; k++ {
+			// M entry is −(β/α)·L_ij.
+			acc += invA * s.beta * s.lowVal[k] * dst[s.lowCol[k]]
+		}
+		dst[i] = acc / (invA*s.diag[i] + s.diag[i])
+	}
+}
+
+// ApplyN computes dst = (M − A) src = ((1/α)D − (β/α)L − A) src.
+func (s *SORSplitting) ApplyN(dst, src []float64) {
+	invA := 1 / s.alpha
+	for i := range dst {
+		acc := invA * s.diag[i] * src[i]
+		for k := s.lowPtr[i]; k < s.lowPtr[i+1]; k++ {
+			acc -= invA * s.beta * s.lowVal[k] * src[s.lowCol[k]]
+		}
+		dst[i] = acc
+	}
+	s.a.AddMulVec(dst, src, -1)
+}
+
+// Omega returns D = diag(A).
+func (s *SORSplitting) Omega() []float64 { return s.diag }

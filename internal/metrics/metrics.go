@@ -1,0 +1,108 @@
+// Package metrics computes the quality numbers the paper's evaluation
+// reports: total/maximum cell displacement (measured in placement-site
+// widths, as in Table 2), half-perimeter wirelength (HPWL), and the HPWL
+// increase over the global placement (ΔHPWL).
+package metrics
+
+import (
+	"math"
+
+	"mclg/internal/design"
+)
+
+// Displacement summarizes cell movement between the global placement and
+// the current positions.
+type Displacement struct {
+	TotalSites float64 // Σ (|Δx| + |Δy|) / siteWidth — the paper's "Total Disp. (sites)"
+	MaxSites   float64 // max over cells of (|Δx| + |Δy|) / siteWidth
+	TotalEucl  float64 // Σ √(Δx² + Δy²) in database units
+	SumSq      float64 // Σ (Δx² + Δy²), the QP objective
+	Moved      int     // cells with nonzero displacement
+}
+
+// MeasureDisplacement compares each movable cell's current position with
+// its global-placement position.
+func MeasureDisplacement(d *design.Design) Displacement {
+	var out Displacement
+	for _, c := range d.Cells {
+		if c.Fixed {
+			continue
+		}
+		dx := math.Abs(c.X - c.GX)
+		dy := math.Abs(c.Y - c.GY)
+		if dx == 0 && dy == 0 {
+			continue
+		}
+		out.Moved++
+		manh := (dx + dy) / d.SiteW
+		out.TotalSites += manh
+		if manh > out.MaxSites {
+			out.MaxSites = manh
+		}
+		out.TotalEucl += math.Hypot(dx, dy)
+		out.SumSq += dx*dx + dy*dy
+	}
+	return out
+}
+
+// HPWL returns the total half-perimeter wirelength of the design at the
+// cells' current positions. Pin offsets are measured from the cell's
+// bottom-left corner; vertically flipped cells mirror the pin's y offset.
+// Nets with fewer than two pins contribute zero.
+func HPWL(d *design.Design) float64 {
+	return hpwl(d, false)
+}
+
+// HPWLGlobal returns the HPWL at the global-placement positions (flips
+// ignored, matching the pre-legalization netlist state).
+func HPWLGlobal(d *design.Design) float64 {
+	return hpwl(d, true)
+}
+
+func hpwl(d *design.Design, global bool) float64 {
+	total := 0.0
+	for i := range d.Nets {
+		n := &d.Nets[i]
+		if len(n.Pins) < 2 {
+			continue
+		}
+		minX, maxX := math.Inf(1), math.Inf(-1)
+		minY, maxY := math.Inf(1), math.Inf(-1)
+		for _, p := range n.Pins {
+			var x, y float64
+			if p.CellID < 0 {
+				x, y = p.DX, p.DY
+			} else {
+				c := d.Cells[p.CellID]
+				dy := p.DY
+				if !global && c.Flipped {
+					dy = c.H - p.DY
+				}
+				if global {
+					x, y = c.GX+p.DX, c.GY+dy
+				} else {
+					x, y = c.X+p.DX, c.Y+dy
+				}
+			}
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+		}
+		w := n.Weight
+		if w == 0 {
+			w = 1
+		}
+		total += w * ((maxX - minX) + (maxY - minY))
+	}
+	return total
+}
+
+// DeltaHPWL returns the relative HPWL increase of the current placement
+// over the global placement: (HPWL − HPWL_gp) / HPWL_gp. Returns 0 when the
+// design has no nets or zero global wirelength.
+func DeltaHPWL(d *design.Design) float64 {
+	gp := HPWLGlobal(d)
+	if gp == 0 {
+		return 0
+	}
+	return (HPWL(d) - gp) / gp
+}

@@ -1,0 +1,130 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"mclg/internal/design"
+)
+
+func mkDesign() *design.Design {
+	return design.NewDesign(design.Config{NumRows: 4, NumSites: 100, RowHeight: 10, SiteW: 2})
+}
+
+func TestMeasureDisplacement(t *testing.T) {
+	d := mkDesign()
+	a := d.AddCell("a", 4, 10, design.VSS)
+	a.GX, a.GY = 10, 0
+	a.X, a.Y = 14, 10 // Δ = (4, 10) -> manhattan 14, /siteW=2 -> 7 sites
+	b := d.AddCell("b", 4, 10, design.VSS)
+	b.GX, b.GY = 20, 20
+	b.X, b.Y = 20, 20 // unmoved
+	got := MeasureDisplacement(d)
+	if got.TotalSites != 7 {
+		t.Errorf("TotalSites = %g, want 7", got.TotalSites)
+	}
+	if got.MaxSites != 7 {
+		t.Errorf("MaxSites = %g, want 7", got.MaxSites)
+	}
+	if got.Moved != 1 {
+		t.Errorf("Moved = %d, want 1", got.Moved)
+	}
+	if math.Abs(got.TotalEucl-math.Hypot(4, 10)) > 1e-12 {
+		t.Errorf("TotalEucl = %g", got.TotalEucl)
+	}
+	if got.SumSq != 16+100 {
+		t.Errorf("SumSq = %g, want 116", got.SumSq)
+	}
+}
+
+func TestDisplacementIgnoresFixed(t *testing.T) {
+	d := mkDesign()
+	f := d.AddCell("f", 4, 10, design.VSS)
+	f.Fixed = true
+	f.GX, f.X = 0, 50
+	got := MeasureDisplacement(d)
+	if got.TotalSites != 0 || got.Moved != 0 {
+		t.Errorf("fixed cell counted: %+v", got)
+	}
+}
+
+func TestHPWLTwoPinNet(t *testing.T) {
+	d := mkDesign()
+	a := d.AddCell("a", 4, 10, design.VSS)
+	b := d.AddCell("b", 4, 10, design.VSS)
+	a.X, a.Y = 0, 0
+	b.X, b.Y = 10, 20
+	d.Nets = append(d.Nets, design.Net{Name: "n", Pins: []design.Pin{
+		{CellID: 0, DX: 1, DY: 2},
+		{CellID: 1, DX: 3, DY: 4},
+	}})
+	// Pins at (1,2) and (13,24): HPWL = 12 + 22 = 34.
+	if got := HPWL(d); got != 34 {
+		t.Errorf("HPWL = %g, want 34", got)
+	}
+}
+
+func TestHPWLFlippedPin(t *testing.T) {
+	d := mkDesign()
+	a := d.AddCell("a", 4, 10, design.VSS)
+	a.X, a.Y = 0, 0
+	a.Flipped = true
+	b := d.AddCell("b", 4, 10, design.VSS)
+	b.X, b.Y = 10, 0
+	d.Nets = append(d.Nets, design.Net{Name: "n", Pins: []design.Pin{
+		{CellID: 0, DX: 0, DY: 2}, // flipped: y = 10 - 2 = 8
+		{CellID: 1, DX: 0, DY: 0},
+	}})
+	// Pins (0,8) and (10,0): HPWL = 10 + 8 = 18.
+	if got := HPWL(d); got != 18 {
+		t.Errorf("HPWL with flip = %g, want 18", got)
+	}
+}
+
+func TestHPWLFixedPin(t *testing.T) {
+	d := mkDesign()
+	a := d.AddCell("a", 4, 10, design.VSS)
+	a.X, a.Y = 5, 0
+	d.Nets = append(d.Nets, design.Net{Name: "io", Pins: []design.Pin{
+		{CellID: -1, DX: 0, DY: 0}, // pad at origin
+		{CellID: 0, DX: 0, DY: 0},
+	}})
+	if got := HPWL(d); got != 5 {
+		t.Errorf("HPWL = %g, want 5", got)
+	}
+}
+
+func TestHPWLSkipsDegenerateNets(t *testing.T) {
+	d := mkDesign()
+	a := d.AddCell("a", 4, 10, design.VSS)
+	a.X = 42
+	d.Nets = append(d.Nets,
+		design.Net{Name: "empty"},
+		design.Net{Name: "single", Pins: []design.Pin{{CellID: 0}}},
+	)
+	if got := HPWL(d); got != 0 {
+		t.Errorf("HPWL = %g, want 0", got)
+	}
+}
+
+func TestDeltaHPWL(t *testing.T) {
+	d := mkDesign()
+	a := d.AddCell("a", 4, 10, design.VSS)
+	b := d.AddCell("b", 4, 10, design.VSS)
+	a.GX, a.GY, b.GX, b.GY = 0, 0, 10, 0
+	a.X, a.Y, b.X, b.Y = 0, 0, 20, 0 // legalized b moved right
+	d.Nets = append(d.Nets, design.Net{Name: "n", Pins: []design.Pin{
+		{CellID: 0}, {CellID: 1},
+	}})
+	// GP HPWL = 10, legal = 20 -> ΔHPWL = 1.0.
+	if got := DeltaHPWL(d); math.Abs(got-1.0) > 1e-12 {
+		t.Errorf("DeltaHPWL = %g, want 1", got)
+	}
+}
+
+func TestDeltaHPWLNoNets(t *testing.T) {
+	d := mkDesign()
+	if got := DeltaHPWL(d); got != 0 {
+		t.Errorf("DeltaHPWL = %g, want 0", got)
+	}
+}

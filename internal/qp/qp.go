@@ -1,0 +1,219 @@
+// Package qp implements a dense primal active-set method for convex
+// quadratic programs
+//
+//	min ½ xᵀHx + pᵀx   s.t.   Gx ≥ h,
+//
+// following Nocedal & Wright, Numerical Optimization, §16.5. It is the
+// exact reference the MMSIM legalizer is validated against on small
+// instances; the production path never calls it.
+package qp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"mclg/internal/dense"
+)
+
+// Problem is a convex QP with inequality constraints Gx >= h.
+// H must be symmetric positive definite.
+type Problem struct {
+	H  *dense.Matrix
+	P  []float64
+	G  *dense.Matrix
+	Hv []float64 // right-hand side h of Gx >= h
+}
+
+// Validate checks dimensions.
+func (p *Problem) Validate() error {
+	n := len(p.P)
+	if p.H.R != n || p.H.C != n {
+		return fmt.Errorf("qp: H is %dx%d, want %dx%d", p.H.R, p.H.C, n, n)
+	}
+	if p.G != nil {
+		if p.G.C != n {
+			return fmt.Errorf("qp: G has %d columns, want %d", p.G.C, n)
+		}
+		if len(p.Hv) != p.G.R {
+			return fmt.Errorf("qp: h has length %d, want %d", len(p.Hv), p.G.R)
+		}
+	} else if len(p.Hv) != 0 {
+		return errors.New("qp: h given without G")
+	}
+	return nil
+}
+
+// Objective evaluates ½ xᵀHx + pᵀx.
+func (p *Problem) Objective(x []float64) float64 {
+	tmp := make([]float64, len(x))
+	p.H.MulVec(tmp, x)
+	s := 0.0
+	for i := range x {
+		s += 0.5*x[i]*tmp[i] + p.P[i]*x[i]
+	}
+	return s
+}
+
+// Feasible reports whether Gx >= h - tol holds componentwise.
+func (p *Problem) Feasible(x []float64, tol float64) bool {
+	if p.G == nil {
+		return true
+	}
+	gx := make([]float64, p.G.R)
+	p.G.MulVec(gx, x)
+	for i := range gx {
+		if gx[i] < p.Hv[i]-tol {
+			return false
+		}
+	}
+	return true
+}
+
+// ErrMaxIter is returned when the active-set loop fails to terminate.
+var ErrMaxIter = errors.New("qp: active-set iteration limit exceeded")
+
+// ErrInfeasibleStart is returned when x0 violates the constraints.
+var ErrInfeasibleStart = errors.New("qp: starting point is infeasible")
+
+// Solve runs the primal active-set method from the feasible starting point
+// x0 and returns the optimizer. For strictly convex problems the result is
+// the unique global minimum.
+func Solve(p *Problem, x0 []float64) ([]float64, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	const tol = 1e-9
+	n := len(p.P)
+	if len(x0) != n {
+		return nil, fmt.Errorf("qp: x0 has length %d, want %d", len(x0), n)
+	}
+	if !p.Feasible(x0, 1e-7) {
+		return nil, ErrInfeasibleStart
+	}
+	x := append([]float64(nil), x0...)
+	m := 0
+	if p.G != nil {
+		m = p.G.R
+	}
+	// Working set: indices of constraints treated as equalities.
+	active := make([]bool, m)
+	gx := make([]float64, m)
+	if p.G != nil {
+		p.G.MulVec(gx, x)
+		for i := 0; i < m; i++ {
+			active[i] = gx[i] <= p.Hv[i]+tol
+		}
+	}
+
+	maxIter := 100 * (n + m + 10)
+	grad := make([]float64, n)
+	for iter := 0; iter < maxIter; iter++ {
+		// Gradient at x.
+		p.H.MulVec(grad, x)
+		for i := range grad {
+			grad[i] += p.P[i]
+		}
+		// Assemble the working set.
+		var ws []int
+		for i := 0; i < m; i++ {
+			if active[i] {
+				ws = append(ws, i)
+			}
+		}
+		d, lambda, err := eqStep(p, grad, ws)
+		if err != nil {
+			return nil, err
+		}
+		if normInf(d) <= tol {
+			// Stationary on the working set: check multipliers.
+			drop, min := -1, -tol
+			for k, i := range ws {
+				if lambda[k] < min {
+					min, drop = lambda[k], i
+				}
+			}
+			if drop < 0 {
+				return x, nil // KKT satisfied
+			}
+			active[drop] = false
+			continue
+		}
+		// Step length: largest alpha in (0,1] keeping inactive constraints.
+		alpha, block := 1.0, -1
+		if p.G != nil {
+			gd := make([]float64, m)
+			p.G.MulVec(gd, d)
+			p.G.MulVec(gx, x)
+			for i := 0; i < m; i++ {
+				if active[i] || gd[i] >= -tol {
+					continue
+				}
+				a := (p.Hv[i] - gx[i]) / gd[i]
+				if a < alpha {
+					alpha, block = a, i
+				}
+			}
+		}
+		if alpha < 0 {
+			alpha = 0
+		}
+		for i := range x {
+			x[i] += alpha * d[i]
+		}
+		if block >= 0 {
+			active[block] = true
+		}
+	}
+	return nil, ErrMaxIter
+}
+
+// eqStep solves the equality-constrained subproblem
+//
+//	min ½(x+d)ᵀH(x+d) + pᵀ(x+d)   s.t.   G_W d = 0
+//
+// via its KKT system and returns the step d and the multipliers for the
+// working set.
+func eqStep(p *Problem, grad []float64, ws []int) (d, lambda []float64, err error) {
+	n := len(p.P)
+	k := len(ws)
+	kkt := dense.New(n+k, n+k)
+	rhs := make([]float64, n+k)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			kkt.Set(i, j, p.H.At(i, j))
+		}
+		rhs[i] = -grad[i]
+	}
+	// KKT system [[H, −G_Wᵀ], [G_W, 0]] [d; λ] = [−grad; 0] so that at d = 0
+	// the multipliers satisfy ∇f = G_Wᵀ λ with λ ≥ 0 at an optimum.
+	for a, ci := range ws {
+		for j := 0; j < n; j++ {
+			g := p.G.At(ci, j)
+			kkt.Set(i(n, a), j, g)
+			kkt.Set(j, i(n, a), -g)
+		}
+	}
+	sol, err := dense.Solve(kkt, rhs)
+	if err != nil {
+		// A degenerate working set (linearly dependent rows) can make the
+		// KKT matrix singular; perturb by dropping the last constraint.
+		if k > 0 {
+			return eqStep(p, grad, ws[:k-1])
+		}
+		return nil, nil, err
+	}
+	return sol[:n], sol[n:], nil
+}
+
+func i(n, a int) int { return n + a }
+
+func normInf(v []float64) float64 {
+	m := 0.0
+	for _, x := range v {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}

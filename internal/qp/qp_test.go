@@ -1,0 +1,223 @@
+package qp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mclg/internal/dense"
+)
+
+func identity(n int) *dense.Matrix {
+	m := dense.New(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+func TestUnconstrainedMinimum(t *testing.T) {
+	// min ½||x - c||²: optimum x = c.
+	c := []float64{3, -2, 7}
+	p := &Problem{H: identity(3), P: []float64{-3, 2, -7}}
+	x, err := Solve(p, []float64{0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range c {
+		if math.Abs(x[i]-c[i]) > 1e-8 {
+			t.Errorf("x[%d] = %g, want %g", i, x[i], c[i])
+		}
+	}
+}
+
+func TestSingleActiveConstraint(t *testing.T) {
+	// min ½(x-3)² s.t. x <= 1, i.e. -x >= -1. Optimum x = 1.
+	p := &Problem{
+		H:  identity(1),
+		P:  []float64{-3},
+		G:  dense.FromRows([][]float64{{-1}}),
+		Hv: []float64{-1},
+	}
+	x, err := Solve(p, []float64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1) > 1e-8 {
+		t.Errorf("x = %g, want 1", x[0])
+	}
+}
+
+func TestInactiveConstraintIgnored(t *testing.T) {
+	// min ½(x-3)² s.t. x >= -5. Optimum x = 3 (constraint slack).
+	p := &Problem{
+		H:  identity(1),
+		P:  []float64{-3},
+		G:  dense.FromRows([][]float64{{1}}),
+		Hv: []float64{-5},
+	}
+	x, err := Solve(p, []float64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-3) > 1e-8 {
+		t.Errorf("x = %g, want 3", x[0])
+	}
+}
+
+func TestTwoCellLegalization(t *testing.T) {
+	// Two unit-width cells that both want position 5 in the same row:
+	// min ½(x1-5)² + ½(x2-5)² s.t. x2 - x1 >= 1.
+	// Optimum: x1 = 4.5, x2 = 5.5.
+	p := &Problem{
+		H:  identity(2),
+		P:  []float64{-5, -5},
+		G:  dense.FromRows([][]float64{{-1, 1}}),
+		Hv: []float64{1},
+	}
+	x, err := Solve(p, []float64{0, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-4.5) > 1e-8 || math.Abs(x[1]-5.5) > 1e-8 {
+		t.Errorf("x = %v, want [4.5 5.5]", x)
+	}
+}
+
+func TestStartingPointMustBeFeasible(t *testing.T) {
+	p := &Problem{
+		H:  identity(1),
+		P:  []float64{0},
+		G:  dense.FromRows([][]float64{{1}}),
+		Hv: []float64{5},
+	}
+	if _, err := Solve(p, []float64{0}); err != ErrInfeasibleStart {
+		t.Errorf("err = %v, want ErrInfeasibleStart", err)
+	}
+}
+
+func TestValidateCatchesMismatches(t *testing.T) {
+	p := &Problem{H: identity(2), P: []float64{1}}
+	if err := p.Validate(); err == nil {
+		t.Error("expected dimension error")
+	}
+	p2 := &Problem{H: identity(1), P: []float64{1}, G: dense.New(2, 1), Hv: []float64{1}}
+	if err := p2.Validate(); err == nil {
+		t.Error("expected h length error")
+	}
+}
+
+func TestObjectiveAndFeasible(t *testing.T) {
+	p := &Problem{
+		H:  identity(2),
+		P:  []float64{-1, 0},
+		G:  dense.FromRows([][]float64{{1, 0}}),
+		Hv: []float64{0},
+	}
+	x := []float64{2, 3}
+	want := 0.5*(4+9) - 2.0
+	if got := p.Objective(x); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Objective = %g, want %g", got, want)
+	}
+	if !p.Feasible(x, 0) {
+		t.Error("x should be feasible")
+	}
+	if p.Feasible([]float64{-1, 0}, 1e-9) {
+		t.Error("x should be infeasible")
+	}
+}
+
+// Random chained-cell problems: minimize displacement subject to ordering
+// constraints — the exact shape of the legalization QP. Verified against a
+// brute-force projected gradient method.
+func TestRandomChainProblems(t *testing.T) {
+	rng := rand.New(rand.NewSource(211))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(6)
+		targets := make([]float64, n)
+		for i := range targets {
+			targets[i] = rng.Float64() * 10
+		}
+		widths := make([]float64, n)
+		for i := range widths {
+			widths[i] = 0.5 + rng.Float64()*2
+		}
+		// Constraints: x[i+1] - x[i] >= widths[i], plus x[0] >= 0.
+		g := dense.New(n, n)
+		h := make([]float64, n)
+		for i := 0; i+1 < n; i++ {
+			g.Set(i, i, -1)
+			g.Set(i, i+1, 1)
+			h[i] = widths[i]
+		}
+		g.Set(n-1, 0, 1)
+		h[n-1] = 0
+		p := &Problem{H: identity(n), P: neg(targets), G: g, Hv: h}
+		// Feasible start: spread the cells out.
+		x0 := make([]float64, n)
+		for i := 1; i < n; i++ {
+			x0[i] = x0[i-1] + widths[i-1] + 1
+		}
+		x, err := Solve(p, x0)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !p.Feasible(x, 1e-7) {
+			t.Fatalf("trial %d: solution infeasible", trial)
+		}
+		ref := chainExact(targets, widths)
+		if math.Abs(p.Objective(x)-p.Objective(ref)) > 1e-6 {
+			t.Errorf("trial %d: objective %g vs exact PAVA %g",
+				trial, p.Objective(x), p.Objective(ref))
+		}
+	}
+}
+
+func neg(v []float64) []float64 {
+	out := make([]float64, len(v))
+	for i := range v {
+		out[i] = -v[i]
+	}
+	return out
+}
+
+// chainExact solves min Σ(x_i − t_i)² s.t. x_{i+1} − x_i ≥ w_i, x_0 ≥ 0
+// exactly by reduction to isotonic regression: with prefix widths P_i,
+// y_i = x_i − P_i must be nondecreasing and nonnegative, and the objective
+// becomes Σ(y_i − (t_i − P_i))². PAVA solves the monotone problem; clipping
+// at zero then yields the bounded solution.
+func chainExact(targets, widths []float64) []float64 {
+	n := len(targets)
+	prefix := make([]float64, n)
+	for i := 1; i < n; i++ {
+		prefix[i] = prefix[i-1] + widths[i-1]
+	}
+	// PAVA with unit weights.
+	type block struct {
+		sum   float64
+		count int
+	}
+	var blocks []block
+	for i := 0; i < n; i++ {
+		blocks = append(blocks, block{targets[i] - prefix[i], 1})
+		for len(blocks) >= 2 {
+			a, b := blocks[len(blocks)-2], blocks[len(blocks)-1]
+			if a.sum/float64(a.count) <= b.sum/float64(b.count) {
+				break
+			}
+			blocks = blocks[:len(blocks)-2]
+			blocks = append(blocks, block{a.sum + b.sum, a.count + b.count})
+		}
+	}
+	x := make([]float64, 0, n)
+	for _, bl := range blocks {
+		v := bl.sum / float64(bl.count)
+		if v < 0 {
+			v = 0
+		}
+		for k := 0; k < bl.count; k++ {
+			x = append(x, v+prefix[len(x)])
+		}
+	}
+	return x
+}

@@ -1,0 +1,149 @@
+package refine
+
+import (
+	"testing"
+
+	"mclg/internal/core"
+	"mclg/internal/design"
+	"mclg/internal/gen"
+	"mclg/internal/metrics"
+)
+
+func legalized(t *testing.T, seed int64) *design.Design {
+	t.Helper()
+	d, err := gen.Generate(gen.Spec{
+		Name: "r", SingleCells: 250, DoubleCells: 25, Density: 0.5, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.New(core.Options{}).Legalize(d); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestRefineRejectsIllegalInput(t *testing.T) {
+	d := design.NewDesign(design.Config{NumRows: 2, NumSites: 20, RowHeight: 10, SiteW: 1})
+	a := d.AddCell("a", 4, 10, design.VSS)
+	a.X, a.Y = 0.5, 0 // off-site
+	if _, err := Refine(d, Options{}); err == nil {
+		t.Error("expected error for illegal input")
+	}
+}
+
+func TestRefineDisplacementNeverWorse(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		d := legalized(t, seed)
+		before := metrics.MeasureDisplacement(d).TotalSites
+		res, err := Refine(d, Options{Objective: Displacement})
+		if err != nil {
+			t.Fatal(err)
+		}
+		after := metrics.MeasureDisplacement(d).TotalSites
+		if after > before+1e-9 {
+			t.Errorf("seed %d: displacement grew %g -> %g", seed, before, after)
+		}
+		if res.Initial != before || res.Final != after {
+			t.Errorf("seed %d: result bookkeeping off: %+v", seed, res)
+		}
+		if rep := design.CheckLegal(d); !rep.Legal() {
+			t.Fatalf("seed %d: refinement broke legality: %v", seed, rep)
+		}
+	}
+}
+
+func TestRefineHPWLNeverWorse(t *testing.T) {
+	d := legalized(t, 7)
+	before := metrics.HPWL(d)
+	res, err := Refine(d, Options{Objective: HPWL, MaxPasses: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := metrics.HPWL(d)
+	if after > before+1e-6 {
+		t.Errorf("HPWL grew %g -> %g", before, after)
+	}
+	if res.Final > res.Initial+1e-6 {
+		t.Errorf("objective grew: %+v", res)
+	}
+	if rep := design.CheckLegal(d); !rep.Legal() {
+		t.Fatalf("refinement broke legality: %v", rep)
+	}
+}
+
+func TestRefineSwapImprovesCrossedPair(t *testing.T) {
+	// Two same-size cells placed at each other's targets: a swap fixes it.
+	d := design.NewDesign(design.Config{NumRows: 2, NumSites: 40, RowHeight: 10, SiteW: 1})
+	a := d.AddCell("a", 4, 10, design.VSS)
+	b := d.AddCell("b", 4, 10, design.VSS)
+	a.GX, a.GY = 20, 0
+	b.GX, b.GY = 0, 0
+	a.X, a.Y = 0, 0 // a sits where b wants to be
+	b.X, b.Y = 20, 0
+	res, err := Refine(d, Options{Objective: Displacement})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Final != 0 {
+		t.Errorf("final displacement = %g, want 0 (res %+v)", res.Final, res)
+	}
+	if a.X != 20 || b.X != 0 {
+		t.Errorf("cells not swapped: a.X=%g b.X=%g", a.X, b.X)
+	}
+	if rep := design.CheckLegal(d); !rep.Legal() {
+		t.Fatalf("swap broke legality: %v", rep)
+	}
+}
+
+func TestRefineSlideMovesTowardTarget(t *testing.T) {
+	d := design.NewDesign(design.Config{NumRows: 2, NumSites: 40, RowHeight: 10, SiteW: 1})
+	a := d.AddCell("a", 4, 10, design.VSS)
+	a.GX, a.GY = 30, 0
+	a.X, a.Y = 0, 0 // legal but far from its target; space at 30 is free
+	res, err := Refine(d, Options{Objective: Displacement})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.X != 30 || a.Y != 0 {
+		t.Errorf("cell not slid home: (%g, %g)", a.X, a.Y)
+	}
+	if res.Slides == 0 {
+		t.Error("no slide recorded")
+	}
+}
+
+func TestRefineRespectsRailsOnSwap(t *testing.T) {
+	// Two double-height cells with different bottom rails must never swap
+	// (they are in different buckets).
+	d := design.NewDesign(design.Config{NumRows: 6, NumSites: 30, RowHeight: 10, SiteW: 1})
+	a := d.AddCell("a", 4, 20, design.VSS) // rows 0, 2, 4
+	b := d.AddCell("b", 4, 20, design.VDD) // rows 1, 3
+	a.GX, a.GY = 20, 10
+	b.GX, b.GY = 0, 0
+	a.X, a.Y = 0, 0
+	b.X, b.Y = 20, 10
+	if _, err := Refine(d, Options{Objective: Displacement}); err != nil {
+		t.Fatal(err)
+	}
+	rep := design.CheckLegal(d)
+	if !rep.Legal() {
+		t.Fatalf("refinement broke rails: %v", rep)
+	}
+}
+
+func TestRefineFixedPointTerminates(t *testing.T) {
+	d := legalized(t, 11)
+	res1, err := Refine(d, Options{Objective: Displacement, MaxPasses: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A second run from the fixed point must do nothing.
+	res2, err := Refine(d, Options{Objective: Displacement, MaxPasses: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Slides != 0 || res2.Swaps != 0 {
+		t.Errorf("second run still moved cells: %+v (first %+v)", res2, res1)
+	}
+}

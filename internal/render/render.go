@@ -1,0 +1,151 @@
+// Package render draws a placement as an SVG in the style of the paper's
+// Figure 5: cells in blue (double-height cells shaded darker), displacement
+// vectors from the global position in red, rows as light guides.
+package render
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"mclg/internal/design"
+)
+
+// Options controls the rendering.
+type Options struct {
+	// WidthPx is the output width in pixels; height follows the core's
+	// aspect ratio. 0 means 1000.
+	WidthPx float64
+	// Displacement draws red lines from each cell's global position to its
+	// current position.
+	Displacement bool
+	// Window restricts rendering to a sub-rectangle of the core in design
+	// units (zero value = whole core) — used for partial layouts like
+	// Figure 5(b).
+	Window struct{ X0, Y0, X1, Y1 float64 }
+	// Nets draws every net as a star from its pin centroid (thin amber
+	// lines) under the displacement layer.
+	Nets bool
+}
+
+// SVG writes the design to w as an SVG document.
+func SVG(d *design.Design, w io.Writer, opts Options) error {
+	if opts.WidthPx == 0 {
+		opts.WidthPx = 1000
+	}
+	win := opts.Window
+	if win.X1 <= win.X0 || win.Y1 <= win.Y0 {
+		win.X0, win.Y0 = d.Core.Lo.X, d.Core.Lo.Y
+		win.X1, win.Y1 = d.Core.Hi.X, d.Core.Hi.Y
+	}
+	ww := win.X1 - win.X0
+	wh := win.Y1 - win.Y0
+	scale := opts.WidthPx / ww
+	heightPx := wh * scale
+
+	// SVG y grows downward; design y grows upward.
+	tx := func(x float64) float64 { return (x - win.X0) * scale }
+	ty := func(y float64) float64 { return heightPx - (y-win.Y0)*scale }
+
+	if _, err := fmt.Fprintf(w,
+		`<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.2f %.2f">`+"\n",
+		opts.WidthPx, heightPx, opts.WidthPx, heightPx); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, `<rect x="0" y="0" width="%.2f" height="%.2f" fill="#ffffff" stroke="#333" stroke-width="1"/>`+"\n",
+		opts.WidthPx, heightPx)
+
+	// Row guides with rail color hints.
+	for _, r := range d.Rows {
+		if r.Y+r.Height < win.Y0 || r.Y > win.Y1 {
+			continue
+		}
+		col := "#d8e8d8" // VSS: greenish
+		if r.Rail == design.VDD {
+			col = "#e8d8d8" // VDD: reddish
+		}
+		fmt.Fprintf(w, `<line x1="%.2f" y1="%.2f" x2="%.2f" y2="%.2f" stroke="%s" stroke-width="1"/>`+"\n",
+			tx(win.X0), ty(r.Y), tx(win.X1), ty(r.Y), col)
+	}
+
+	// Cells.
+	for _, c := range d.Cells {
+		b := c.Bounds()
+		if b.Hi.X < win.X0 || b.Lo.X > win.X1 || b.Hi.Y < win.Y0 || b.Lo.Y > win.Y1 {
+			continue
+		}
+		fill := "#7ca6d8" // single height: light blue
+		if c.RowSpan > 1 {
+			fill = "#3a6db0" // multi-row: darker blue
+		}
+		if c.Fixed {
+			fill = "#888888"
+		}
+		fmt.Fprintf(w, `<rect x="%.2f" y="%.2f" width="%.2f" height="%.2f" fill="%s" stroke="#234" stroke-width="0.4" fill-opacity="0.85"/>`+"\n",
+			tx(c.X), ty(c.Y+c.H), c.W*scale, c.H*scale, fill)
+	}
+
+	// Nets: star topology from the pin centroid.
+	if opts.Nets {
+		for i := range d.Nets {
+			net := &d.Nets[i]
+			if len(net.Pins) < 2 {
+				continue
+			}
+			var cx, cy float64
+			pts := make([][2]float64, 0, len(net.Pins))
+			for _, p := range net.Pins {
+				var x, y float64
+				if p.CellID < 0 {
+					x, y = p.DX, p.DY
+				} else {
+					c := d.Cells[p.CellID]
+					dy := p.DY
+					if c.Flipped {
+						dy = c.H - p.DY
+					}
+					x, y = c.X+p.DX, c.Y+dy
+				}
+				cx += x
+				cy += y
+				pts = append(pts, [2]float64{x, y})
+			}
+			cx /= float64(len(pts))
+			cy /= float64(len(pts))
+			if cx < win.X0 || cx > win.X1 || cy < win.Y0 || cy > win.Y1 {
+				continue
+			}
+			for _, pt := range pts {
+				fmt.Fprintf(w, `<line x1="%.2f" y1="%.2f" x2="%.2f" y2="%.2f" stroke="#d09030" stroke-width="0.3" stroke-opacity="0.5"/>`+"\n",
+					tx(cx), ty(cy), tx(pt[0]), ty(pt[1]))
+			}
+		}
+	}
+
+	// Displacement vectors on top.
+	if opts.Displacement {
+		for _, c := range d.Cells {
+			if c.Fixed || (c.X == c.GX && c.Y == c.GY) {
+				continue
+			}
+			fmt.Fprintf(w, `<line x1="%.2f" y1="%.2f" x2="%.2f" y2="%.2f" stroke="#d03030" stroke-width="0.8"/>`+"\n",
+				tx(c.GX+c.W/2), ty(c.GY+c.H/2), tx(c.X+c.W/2), ty(c.Y+c.H/2))
+		}
+	}
+
+	_, err := fmt.Fprintln(w, "</svg>")
+	return err
+}
+
+// SVGFile renders to a file path.
+func SVGFile(d *design.Design, path string, opts Options) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := SVG(d, f, opts); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,113 @@
+package render
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mclg/internal/design"
+)
+
+func testDesign() *design.Design {
+	d := design.NewDesign(design.Config{NumRows: 4, NumSites: 50, RowHeight: 10, SiteW: 1})
+	a := d.AddCell("a", 5, 10, design.VSS)
+	a.GX, a.GY = 3, 0
+	a.X, a.Y = 5, 0
+	b := d.AddCell("b", 5, 20, design.VSS)
+	b.GX, b.GY = 10, 0
+	b.X, b.Y = 10, 0
+	f := d.AddCell("f", 5, 10, design.VSS)
+	f.Fixed = true
+	f.X, f.Y = 30, 20
+	return d
+}
+
+func TestSVGBasicStructure(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SVG(testDesign(), &buf, Options{Displacement: true}); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if !strings.HasPrefix(s, "<svg") || !strings.HasSuffix(strings.TrimSpace(s), "</svg>") {
+		t.Error("not a well-formed SVG wrapper")
+	}
+	// One rect per cell plus the background.
+	if got := strings.Count(s, "<rect"); got != 4 {
+		t.Errorf("rect count = %d, want 4", got)
+	}
+	// Colors: single, multi, fixed.
+	for _, col := range []string{"#7ca6d8", "#3a6db0", "#888888"} {
+		if !strings.Contains(s, col) {
+			t.Errorf("missing fill %s", col)
+		}
+	}
+	// One displacement line (only cell a moved) in red.
+	if got := strings.Count(s, "#d03030"); got != 1 {
+		t.Errorf("displacement lines = %d, want 1", got)
+	}
+}
+
+func TestSVGNoDisplacementOption(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SVG(testDesign(), &buf, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "#d03030") {
+		t.Error("displacement drawn despite option off")
+	}
+}
+
+func TestSVGWindowClipsCells(t *testing.T) {
+	var buf bytes.Buffer
+	opts := Options{}
+	opts.Window.X0, opts.Window.Y0, opts.Window.X1, opts.Window.Y1 = 0, 0, 8, 10
+	if err := SVG(testDesign(), &buf, opts); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	// Only cell a intersects the window: background + 1 cell.
+	if got := strings.Count(s, "<rect"); got != 2 {
+		t.Errorf("rect count = %d, want 2", got)
+	}
+}
+
+func TestSVGNets(t *testing.T) {
+	d := testDesign()
+	d.Nets = append(d.Nets, design.Net{Name: "n", Pins: []design.Pin{
+		{CellID: 0, DX: 1, DY: 1},
+		{CellID: 1, DX: 1, DY: 1},
+		{CellID: -1, DX: 40, DY: 5},
+	}})
+	var buf bytes.Buffer
+	if err := SVG(d, &buf, Options{Nets: true}); err != nil {
+		t.Fatal(err)
+	}
+	// A 3-pin star has 3 segments in amber.
+	if got := strings.Count(buf.String(), "#d09030"); got != 3 {
+		t.Errorf("net segments = %d, want 3", got)
+	}
+	// Without the option, none.
+	buf.Reset()
+	if err := SVG(d, &buf, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "#d09030") {
+		t.Error("nets drawn despite option off")
+	}
+}
+
+func TestSVGFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.svg")
+	if err := SVGFile(testDesign(), path, Options{WidthPx: 200}); err != nil {
+		t.Fatal(err)
+	}
+	// Re-render to buffer and compare non-emptiness.
+	var buf bytes.Buffer
+	if err := SVG(testDesign(), &buf, Options{WidthPx: 200}); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Error("empty SVG")
+	}
+}

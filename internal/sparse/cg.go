@@ -1,0 +1,87 @@
+package sparse
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrNotConverged is returned by CG when the iteration limit is reached
+// before the residual target.
+var ErrNotConverged = errors.New("sparse: CG did not converge")
+
+// CGOptions controls the conjugate gradient solver.
+type CGOptions struct {
+	Tol     float64 // relative residual target ‖r‖/‖b‖; 0 means 1e-8
+	MaxIter int     // 0 means 10·n
+	// Precond, if non-nil, applies a symmetric positive definite
+	// preconditioner: dst = M⁻¹ src (e.g. Jacobi).
+	Precond func(dst, src []float64)
+}
+
+// CG solves A x = b for a symmetric positive definite operator given by
+// apply (dst = A·src), starting from x (which is updated in place and also
+// returned). It returns the iteration count.
+//
+// The global placer uses CG on its quadratic-wirelength Laplacians; the
+// solver is generic so tests can drive it with any SPD operator.
+func CG(apply func(dst, src []float64), b, x []float64, opts CGOptions) (int, error) {
+	n := len(b)
+	if len(x) != n {
+		return 0, fmt.Errorf("sparse: CG dimension mismatch: b %d, x %d", len(b), n)
+	}
+	if opts.Tol == 0 {
+		opts.Tol = 1e-8
+	}
+	if opts.MaxIter == 0 {
+		opts.MaxIter = 10 * (n + 1)
+	}
+	r := make([]float64, n)
+	apply(r, x)
+	for i := range r {
+		r[i] = b[i] - r[i]
+	}
+	z := make([]float64, n)
+	applyPrecond := func() {
+		if opts.Precond != nil {
+			opts.Precond(z, r)
+		} else {
+			copy(z, r)
+		}
+	}
+	applyPrecond()
+	p := append([]float64(nil), z...)
+	ap := make([]float64, n)
+
+	bNorm := Norm2(b)
+	if bNorm == 0 {
+		for i := range x {
+			x[i] = 0
+		}
+		return 0, nil
+	}
+	rz := Dot(r, z)
+	for k := 0; k < opts.MaxIter; k++ {
+		if Norm2(r) <= opts.Tol*bNorm {
+			return k, nil
+		}
+		apply(ap, p)
+		pap := Dot(p, ap)
+		if pap <= 0 {
+			return k, fmt.Errorf("sparse: CG operator not positive definite (pᵀAp = %g)", pap)
+		}
+		alpha := rz / pap
+		Axpy(x, alpha, p)
+		Axpy(r, -alpha, ap)
+		applyPrecond()
+		rzNew := Dot(r, z)
+		beta := rzNew / rz
+		rz = rzNew
+		for i := range p {
+			p[i] = z[i] + beta*p[i]
+		}
+	}
+	if Norm2(r) <= opts.Tol*bNorm {
+		return opts.MaxIter, nil
+	}
+	return opts.MaxIter, ErrNotConverged
+}

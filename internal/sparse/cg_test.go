@@ -1,0 +1,161 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func applyDense(a [][]float64) func(dst, src []float64) {
+	return func(dst, src []float64) {
+		for i := range a {
+			s := 0.0
+			for j, v := range a[i] {
+				s += v * src[j]
+			}
+			dst[i] = s
+		}
+	}
+}
+
+func TestCGIdentity(t *testing.T) {
+	n := 5
+	id := make([][]float64, n)
+	b := make([]float64, n)
+	for i := range id {
+		id[i] = make([]float64, n)
+		id[i][i] = 1
+		b[i] = float64(i + 1)
+	}
+	x := make([]float64, n)
+	iters, err := CG(applyDense(id), b, x, CGOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range b {
+		if math.Abs(x[i]-b[i]) > 1e-8 {
+			t.Errorf("x[%d] = %g, want %g", i, x[i], b[i])
+		}
+	}
+	if iters > 2 {
+		t.Errorf("identity took %d iterations", iters)
+	}
+}
+
+func TestCGRandomSPD(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(30)
+		// A = GᵀG + I.
+		g := make([][]float64, n)
+		for i := range g {
+			g[i] = make([]float64, n)
+			for j := range g[i] {
+				g[i][j] = rng.NormFloat64()
+			}
+		}
+		a := make([][]float64, n)
+		for i := range a {
+			a[i] = make([]float64, n)
+			for j := range a[i] {
+				for k := 0; k < n; k++ {
+					a[i][j] += g[k][i] * g[k][j]
+				}
+			}
+			a[i][i]++
+		}
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = rng.NormFloat64()
+		}
+		b := make([]float64, n)
+		applyDense(a)(b, want)
+		x := make([]float64, n)
+		if _, err := CG(applyDense(a), b, x, CGOptions{Tol: 1e-12, MaxIter: 20 * n}); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for i := range want {
+			if math.Abs(x[i]-want[i]) > 1e-5*math.Max(1, math.Abs(want[i])) {
+				t.Fatalf("trial %d: x[%d] = %g, want %g", trial, i, x[i], want[i])
+			}
+		}
+	}
+}
+
+func TestCGJacobiPreconditioner(t *testing.T) {
+	// Badly scaled diagonal system: Jacobi makes it converge in one step.
+	n := 20
+	a := make([][]float64, n)
+	diag := make([]float64, n)
+	for i := range a {
+		a[i] = make([]float64, n)
+		diag[i] = math.Pow(10, float64(i%8))
+		a[i][i] = diag[i]
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = float64(i + 1)
+	}
+	x := make([]float64, n)
+	iters, err := CG(applyDense(a), b, x, CGOptions{
+		Precond: func(dst, src []float64) {
+			for i := range dst {
+				dst[i] = src[i] / diag[i]
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iters > 3 {
+		t.Errorf("preconditioned diagonal solve took %d iterations", iters)
+	}
+	for i := range b {
+		if math.Abs(x[i]-b[i]/diag[i]) > 1e-8 {
+			t.Errorf("x[%d] wrong", i)
+		}
+	}
+}
+
+func TestCGZeroRHS(t *testing.T) {
+	x := []float64{3, 4}
+	id := [][]float64{{1, 0}, {0, 1}}
+	if _, err := CG(applyDense(id), []float64{0, 0}, x, CGOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if x[0] != 0 || x[1] != 0 {
+		t.Errorf("zero rhs should zero x, got %v", x)
+	}
+}
+
+func TestCGNonConvergence(t *testing.T) {
+	// One iteration cap on a system needing more.
+	rng := rand.New(rand.NewSource(93))
+	n := 20
+	a := make([][]float64, n)
+	for i := range a {
+		a[i] = make([]float64, n)
+		for j := 0; j <= i; j++ {
+			v := rng.NormFloat64()
+			a[i][j] += v
+			a[j][i] += v
+		}
+		a[i][i] += 20
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	x := make([]float64, n)
+	if _, err := CG(applyDense(a), b, x, CGOptions{Tol: 1e-14, MaxIter: 1}); err == nil {
+		t.Error("expected ErrNotConverged")
+	}
+}
+
+func TestCGNotPositiveDefinite(t *testing.T) {
+	a := [][]float64{{-1, 0}, {0, -1}}
+	x := make([]float64, 2)
+	if _, err := CG(applyDense(a), []float64{1, 1}, x, CGOptions{}); err == nil {
+		t.Error("expected error for negative definite operator")
+	}
+}

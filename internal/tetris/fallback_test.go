@@ -1,0 +1,135 @@
+package tetris
+
+import (
+	"math/rand"
+	"testing"
+
+	"mclg/internal/design"
+)
+
+// TestAllocateFrontierFallbackMixedWidths constructs an exact-fill instance
+// where the nearest-free rebuild fragments (big cells grab middle runs,
+// leaving unusable slivers) so the frontier-compaction fallback must finish
+// the job.
+func TestAllocateFrontierFallbackMixedWidths(t *testing.T) {
+	d := mkDesign(1, 20)
+	specs := []struct {
+		w float64
+		x float64
+	}{
+		{7, 2}, {7, 2}, {6, 0},
+	}
+	for _, s := range specs {
+		c := d.AddCell("c", s.w, 10, design.VSS)
+		c.X, c.Y = s.x, 0
+		c.GX, c.GY = s.x, 0
+	}
+	res, err := Allocate(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Unplaced != 0 {
+		t.Fatalf("unplaced = %d on an exactly-fillable row", res.Unplaced)
+	}
+	if rep := design.CheckLegal(d); !rep.Legal() {
+		t.Fatalf("illegal: %v", rep)
+	}
+	// Exact fill: every site must be used.
+	total := 0.0
+	for _, c := range d.Cells {
+		total += c.W
+	}
+	if total != 20 {
+		t.Fatalf("test setup wrong: total width %g", total)
+	}
+}
+
+// TestAllocateExactFillRandomizedWidths stresses the full fallback chain on
+// random exact-fill rows.
+func TestAllocateExactFillRandomizedWidths(t *testing.T) {
+	rng := rand.New(rand.NewSource(137))
+	for trial := 0; trial < 30; trial++ {
+		rows := 1 + rng.Intn(3)
+		capacity := 24
+		d := mkDesign(rows, capacity)
+		for r := 0; r < rows; r++ {
+			remaining := capacity
+			for remaining > 0 {
+				w := 2 + rng.Intn(6)
+				if w > remaining {
+					w = remaining
+				}
+				if remaining-w == 1 { // avoid unusable width-1 leftover
+					w = remaining
+				}
+				if w < 1 {
+					w = remaining
+				}
+				c := d.AddCell("c", float64(w), 10, design.VSS)
+				// Random (colliding) positions anywhere in the row.
+				c.X = float64(rng.Intn(capacity))
+				c.Y = d.RowY(r)
+				c.GX, c.GY = c.X, c.Y
+				remaining -= w
+			}
+		}
+		res, err := Allocate(d)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if res.Unplaced != 0 {
+			t.Fatalf("trial %d: %d unplaced on exact fill", trial, res.Unplaced)
+		}
+		if rep := design.CheckLegal(d); !rep.Legal() {
+			t.Fatalf("trial %d: %v", trial, rep)
+		}
+	}
+}
+
+// TestSnapClampRightEdge covers the clamp branch for cells whose real
+// position extends beyond the row.
+func TestSnapClampRightEdge(t *testing.T) {
+	d := mkDesign(1, 20)
+	c := d.AddCell("c", 5, 10, design.VSS)
+	got := snapClamp(d, c, 18.7) // 18.7 + 5 > 20
+	if got != 15 {
+		t.Errorf("snapClamp = %g, want 15", got)
+	}
+	if got := snapClamp(d, c, -3); got != 0 {
+		t.Errorf("snapClamp(-3) = %g, want 0", got)
+	}
+}
+
+// TestAllocateEvictionPath drives repairCell's eviction branch: the illegal
+// cell is wide, the grid is fragmented with single-site gaps, so no free
+// run exists and blockers at the target window must be evicted.
+func TestAllocateEvictionPath(t *testing.T) {
+	d := mkDesign(2, 31)
+	// Row 0: width-2 blockers at 0,3,6,...,27 (gaps of 1 site) = 10 cells,
+	// leaving 10 single-site gaps plus [30,31).
+	for i := 0; i < 10; i++ {
+		c := d.AddCell("blk", 2, 10, design.VSS)
+		c.X, c.Y = float64(3*i), 0
+		c.GX, c.GY = c.X, c.Y
+	}
+	// Row 1: same fragmentation.
+	for i := 0; i < 10; i++ {
+		c := d.AddCell("blk2", 2, 10, design.VSS)
+		c.X, c.Y = float64(3*i), 10
+		c.GX, c.GY = c.X, c.Y
+	}
+	// A width-4 cell with no free run anywhere, overlapping row 0.
+	w := d.AddCell("wide", 4, 10, design.VSS)
+	w.X, w.Y = 10, 0
+	w.GX, w.GY = 10, 0
+	res, err := Allocate(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Unplaced != 0 {
+		t.Fatalf("unplaced = %d", res.Unplaced)
+	}
+	if rep := design.CheckLegal(d); !rep.Legal() {
+		t.Fatalf("illegal: %v", rep)
+	}
+}

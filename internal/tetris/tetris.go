@@ -1,0 +1,553 @@
+// Package tetris implements the paper's Tetris-like allocation stage: after
+// the MMSIM produces real-valued x positions on assigned rows, every cell is
+// snapped to the nearest placement site; cells that then overlap another
+// cell or cross the right chip boundary are marked illegal and re-placed at
+// the nearest free site run, searching rail-compatible rows outward from
+// the cell's current position.
+//
+// Table 1 of the paper shows the illegal-cell ratio after MMSIM averages
+// 0.03%, which is why this local repair preserves near-optimality.
+package tetris
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mclg/internal/design"
+)
+
+// Result reports what the allocation did.
+type Result struct {
+	Illegal      int // cells illegal after MMSIM: overlapping or out of boundary
+	Unplaced     int // cells for which no free position was found (should be 0)
+	MaxSnapDist  float64
+	RepairMovedX float64 // total |Δx| of repaired cells, in sites
+	RepairMovedY float64 // total |Δy| of repaired cells, in sites
+	Rebuilt      bool    // the global rebuild fallback ran (quality hit)
+	RepairFailed int     // cells the per-cell repair could not place
+	Repaired     int     // cells re-placed by the nearest-free repair stage
+}
+
+// Allocate legalizes the design in place. Cells must already be assigned to
+// valid rows (y on a row boundary). Fixed cells are inserted into the
+// occupancy grid first and never moved.
+//
+// The pass ordering mirrors the paper: snap every cell to its nearest site,
+// scan cells row-major/left-to-right accepting collision-free cells, then
+// repair the remaining (illegal) cells one by one at their nearest free
+// position.
+func Allocate(d *design.Design) (*Result, error) {
+	res := &Result{}
+	occ := design.NewOccupancy(d)
+
+	for _, c := range d.Cells {
+		if !c.Fixed {
+			continue
+		}
+		// Fixed cells block sites; an off-grid fixed cell blocks every site
+		// it touches. (The synthetic suite has none, but Bookshelf designs
+		// may.)
+		blockFixed(occ, d, c)
+	}
+
+	type cand struct {
+		c   *design.Cell
+		x   float64 // snapped x
+		row int
+	}
+	var cands []cand
+	for _, c := range d.Cells {
+		if c.Fixed {
+			continue
+		}
+		row := d.RowAt(c.Y + d.RowHeight/2)
+		if row < 0 || row+c.RowSpan > len(d.Rows) ||
+			math.Abs(c.Y-d.RowY(row)) > 1e-6*d.RowHeight {
+			return nil, fmt.Errorf("tetris: cell %d not on a valid row (y=%g)", c.ID, c.Y)
+		}
+	}
+
+	// Count the cells the MMSIM left illegal (Table 1's "#I. Cell"):
+	// overlapping another cell or beyond the right boundary.
+	res.Illegal = countIllegal(d)
+
+	// Shove pass: enforce the right boundary and within-row ordering by
+	// pushing cells left, right-to-left per row, before snapping. This
+	// resolves the out-of-right-boundary cells the relaxed MMSIM produces
+	// (and small subcell-mismatch overlaps) while preserving the solver's
+	// cell ordering — the "Tetris" in Tetris-like allocation.
+	shoveLeft(d)
+
+	// Snapshot the solver's (shoved) positions: the rebuild fallbacks
+	// restart from here rather than from post-repair positions.
+	original := savePositions(d)
+
+	for _, c := range d.Cells {
+		if c.Fixed {
+			continue
+		}
+		row := d.RowAt(c.Y + d.RowHeight/2)
+		x := snapClamp(d, c, c.X)
+		if dist := math.Abs(x-c.X) / d.SiteW; dist > res.MaxSnapDist {
+			res.MaxSnapDist = dist
+		}
+		cands = append(cands, cand{c, x, row})
+	}
+	// Deterministic scan order: by snapped x, then row, then ID — the
+	// left-to-right check the paper describes.
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].x != cands[j].x {
+			return cands[i].x < cands[j].x
+		}
+		if cands[i].row != cands[j].row {
+			return cands[i].row < cands[j].row
+		}
+		return cands[i].c.ID < cands[j].c.ID
+	})
+
+	var illegal []cand
+	for _, cd := range cands {
+		y := d.RowY(cd.row)
+		if occ.Fits(cd.c, cd.x, y) {
+			if err := occ.Place(cd.c, cd.x, y); err != nil {
+				return nil, err
+			}
+			cd.c.X, cd.c.Y = cd.x, y
+		} else {
+			illegal = append(illegal, cd)
+		}
+	}
+	res.Repaired = len(illegal)
+
+	// Repair hardest-first: tall and wide cells need long contiguous free
+	// runs, so they get first pick; small cells slot into the fragments.
+	sort.Slice(illegal, func(i, j int) bool {
+		a, b := illegal[i].c, illegal[j].c
+		if a.RowSpan != b.RowSpan {
+			return a.RowSpan > b.RowSpan
+		}
+		if a.W != b.W {
+			return a.W > b.W
+		}
+		return a.ID < b.ID
+	})
+	var failed []*design.Cell
+	for _, cd := range illegal {
+		repairCell(d, occ, res, cd.c, cd.x, d.RowY(cd.row), 2, &failed)
+	}
+
+	res.RepairFailed = len(failed)
+	if len(failed) > 0 {
+		res.Rebuilt = true
+		// Heavy fragmentation: rebuild the whole placement from scratch,
+		// starting from the solver's own positions (earlier repair moves
+		// may have shuffled cells across rows and destroyed per-row
+		// feasibility). First greedily, largest cells first, each at the
+		// free position nearest to where the solver put it; if even that
+		// fragments, fall back to frontier compaction, which packs rows
+		// monotonically and succeeds whenever per-row capacity allows.
+		restorePositions(d, original)
+		if rebuildNearest(d, res) > 0 {
+			restorePositions(d, original)
+			res.Unplaced = rebuildFrontier(d, res, false)
+			if res.Unplaced > 0 {
+				restorePositions(d, original)
+				res.Unplaced = rebuildFrontier(d, res, true)
+			}
+		}
+	}
+	return res, nil
+}
+
+type savedPos struct {
+	x, y    float64
+	flipped bool
+}
+
+func savePositions(d *design.Design) []savedPos {
+	out := make([]savedPos, len(d.Cells))
+	for i, c := range d.Cells {
+		out[i] = savedPos{c.X, c.Y, c.Flipped}
+	}
+	return out
+}
+
+func restorePositions(d *design.Design, saved []savedPos) {
+	for i, c := range d.Cells {
+		if c.Fixed {
+			continue
+		}
+		c.X, c.Y, c.Flipped = saved[i].x, saved[i].y, saved[i].flipped
+	}
+}
+
+func movableCells(d *design.Design) []*design.Cell {
+	out := make([]*design.Cell, 0, len(d.Cells))
+	for _, c := range d.Cells {
+		if !c.Fixed {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func blockedOccupancy(d *design.Design) *design.Occupancy {
+	occ := design.NewOccupancy(d)
+	for _, c := range d.Cells {
+		if c.Fixed {
+			blockFixed(occ, d, c)
+		}
+	}
+	return occ
+}
+
+// rebuildNearest re-places every movable cell from scratch, biggest first,
+// each at the nearest free position. Returns the number of unplaced cells.
+func rebuildNearest(d *design.Design, res *Result) int {
+	occ := blockedOccupancy(d)
+	movable := movableCells(d)
+	sort.Slice(movable, func(i, j int) bool {
+		a, b := movable[i], movable[j]
+		if a.RowSpan != b.RowSpan {
+			return a.RowSpan > b.RowSpan
+		}
+		if a.W != b.W {
+			return a.W > b.W
+		}
+		if a.X != b.X {
+			return a.X < b.X
+		}
+		return a.ID < b.ID
+	})
+	unplaced := 0
+	for _, c := range movable {
+		x, y, ok := design.NearestFree(d, occ, c, c.X, c.Y)
+		if !ok {
+			unplaced++
+			continue
+		}
+		if err := occ.Place(c, x, y); err != nil {
+			unplaced++
+			continue
+		}
+		res.RepairMovedX += math.Abs(x-c.X) / d.SiteW
+		res.RepairMovedY += math.Abs(y-c.Y) / d.SiteW
+		moveCell(d, c, x, y)
+	}
+	res.Unplaced = unplaced
+	return unplaced
+}
+
+// rebuildFrontier is the classic Tetris sweep: cells in x order, each placed
+// at max(row frontier, its target x) on the feasible rail-compatible row
+// minimizing displacement cost. Rows fill monotonically left to right, so no
+// space fragments. With compact == true the target is ignored entirely
+// (pure compaction), which succeeds for any instance whose rows have enough
+// aggregate capacity. Returns the number of unplaced cells.
+func rebuildFrontier(d *design.Design, res *Result, compact bool) int {
+	occ := blockedOccupancy(d)
+	movable := movableCells(d)
+	sort.Slice(movable, func(i, j int) bool {
+		a, b := movable[i], movable[j]
+		if a.X != b.X {
+			return a.X < b.X
+		}
+		if a.RowSpan != b.RowSpan {
+			return a.RowSpan > b.RowSpan
+		}
+		return a.ID < b.ID
+	})
+	frontier := make([]int, len(d.Rows)) // next free site index per row
+	unplaced := 0
+	for _, c := range movable {
+		widthSites := int(math.Ceil(c.W/d.SiteW - 1e-9))
+		maxStart := len(d.Rows) - c.RowSpan
+		bestRow, bestSite := -1, 0
+		bestCost := math.Inf(1)
+		for row := 0; row <= maxStart; row++ {
+			if !d.RailCompatible(c, row) {
+				continue
+			}
+			s := 0
+			for r := row; r < row+c.RowSpan; r++ {
+				if frontier[r] > s {
+					s = frontier[r]
+				}
+			}
+			if !compact {
+				if t := d.SiteIndex(c.X); t > s {
+					s = t
+				}
+			}
+			// Skip past fixed blockages.
+			for s+widthSites <= d.Rows[row].NumSites &&
+				!occ.FreeRun(row, row+c.RowSpan, s, s+widthSites) {
+				s++
+			}
+			if s+widthSites > d.Rows[row].NumSites {
+				continue
+			}
+			x := d.Rows[row].OriginX + float64(s)*d.SiteW
+			y := d.RowY(row)
+			dx, dy := x-c.X, y-c.Y
+			cost := dx*dx + dy*dy
+			if compact {
+				// Pure compaction must not steal capacity from other rows
+				// for a shorter x move, or exactly-fillable instances
+				// break: staying in the cell's own row dominates every
+				// x cost.
+				cost = dy*dy*1e9 + dx*dx
+			}
+			if cost < bestCost {
+				bestCost, bestRow, bestSite = cost, row, s
+			}
+		}
+		if bestRow < 0 {
+			unplaced++
+			continue
+		}
+		x := d.Rows[bestRow].OriginX + float64(bestSite)*d.SiteW
+		y := d.RowY(bestRow)
+		if err := occ.Place(c, x, y); err != nil {
+			unplaced++
+			continue
+		}
+		for r := bestRow; r < bestRow+c.RowSpan; r++ {
+			frontier[r] = bestSite + widthSites
+		}
+		res.RepairMovedX += math.Abs(x-c.X) / d.SiteW
+		res.RepairMovedY += math.Abs(y-c.Y) / d.SiteW
+		moveCell(d, c, x, y)
+	}
+	return unplaced
+}
+
+// repairCell places c at the free position nearest (tx, ty). When no free
+// run exists anywhere (heavy fragmentation), it evicts the cells blocking
+// the window nearest the target, places c, and recursively re-places the
+// evicted cells, bounded by depth. Cells that end up without a position are
+// appended to failed.
+func repairCell(d *design.Design, occ *design.Occupancy, res *Result, c *design.Cell, tx, ty float64, depth int, failed *[]*design.Cell) {
+	if x, y, ok := design.NearestFree(d, occ, c, tx, ty); ok {
+		if err := occ.Place(c, x, y); err != nil {
+			*failed = append(*failed, c)
+			return
+		}
+		res.RepairMovedX += math.Abs(x-c.X) / d.SiteW
+		res.RepairMovedY += math.Abs(y-c.Y) / d.SiteW
+		moveCell(d, c, x, y)
+		return
+	}
+	if depth == 0 {
+		*failed = append(*failed, c)
+		return
+	}
+	// Eviction fallback: clear the window at the snapped target.
+	x := snapClamp(d, c, tx)
+	row := d.RowAt(ty + d.RowHeight/2)
+	maxStart := len(d.Rows) - c.RowSpan
+	if row < 0 {
+		row = 0
+	}
+	if row > maxStart {
+		row = maxStart
+	}
+	// Find the nearest rail-compatible row.
+	for delta := 0; delta <= len(d.Rows); delta++ {
+		if r := row - delta; r >= 0 && d.RailCompatible(c, r) {
+			row = r
+			break
+		}
+		if r := row + delta; r <= maxStart && d.RailCompatible(c, r) {
+			row = r
+			break
+		}
+	}
+	if !d.RailCompatible(c, row) {
+		*failed = append(*failed, c)
+		return
+	}
+	y := d.RowY(row)
+	widthSites := int(math.Ceil(c.W/d.SiteW - 1e-9))
+	s0 := d.SiteIndex(x)
+	if s0+widthSites > d.Rows[row].NumSites {
+		s0 = d.Rows[row].NumSites - widthSites
+	}
+	if s0 < 0 {
+		*failed = append(*failed, c)
+		return
+	}
+	evictSet := map[int]bool{}
+	for r := row; r < row+c.RowSpan; r++ {
+		for s := s0; s < s0+widthSites; s++ {
+			if id := occ.OwnerAt(r, s); id >= 0 {
+				if d.Cells[id].Fixed {
+					*failed = append(*failed, c)
+					return // cannot evict fixed cells
+				}
+				evictSet[id] = true
+			}
+		}
+	}
+	var evicted []*design.Cell
+	for id := range evictSet {
+		ec := d.Cells[id]
+		occ.Remove(ec, ec.X, ec.Y)
+		evicted = append(evicted, ec)
+	}
+	sort.Slice(evicted, func(i, j int) bool { return evicted[i].ID < evicted[j].ID })
+	xPos := d.Rows[row].OriginX + float64(s0)*d.SiteW
+	if err := occ.Place(c, xPos, y); err != nil {
+		// Window could not be fully cleared; put the evicted cells back and
+		// give up on c.
+		for _, ec := range evicted {
+			_ = occ.Place(ec, ec.X, ec.Y)
+		}
+		*failed = append(*failed, c)
+		return
+	}
+	res.RepairMovedX += math.Abs(xPos-c.X) / d.SiteW
+	res.RepairMovedY += math.Abs(y-c.Y) / d.SiteW
+	moveCell(d, c, xPos, y)
+	for _, ec := range evicted {
+		repairCell(d, occ, res, ec, ec.X, ec.Y, depth-1, failed)
+	}
+}
+
+// moveCell updates a cell's position and re-derives the vertical flip for
+// odd-span cells.
+func moveCell(d *design.Design, c *design.Cell, x, y float64) {
+	c.X, c.Y = x, y
+	row := d.RowAt(y + d.RowHeight/2)
+	if !c.EvenSpan() && row >= 0 {
+		c.Flipped = d.Rows[row].Rail != c.BottomRail
+	}
+}
+
+// countIllegal counts movable cells that, once aligned to their nearest
+// placement site, overlap another cell or cross the right chip boundary —
+// the quantity Table 1 reports after the MMSIM stage ("aligns each cell to
+// the nearest placement site, then checks the cells one by one for their
+// legality"). Sub-half-site overlaps that snapping absorbs do not count.
+func countIllegal(d *design.Design) int {
+	const eps = 1e-9
+	snap := func(c *design.Cell) float64 {
+		return math.Round((c.X-d.Core.Lo.X)/d.SiteW)*d.SiteW + d.Core.Lo.X
+	}
+	bad := make(map[int]bool)
+	rows := make([][]*design.Cell, len(d.Rows))
+	for _, c := range d.Cells {
+		if c.Fixed {
+			continue
+		}
+		if x := snap(c); x+c.W > d.Core.Hi.X+eps || x < d.Core.Lo.X-eps {
+			bad[c.ID] = true
+		}
+		r0 := d.RowAt(c.Y + d.RowHeight/2)
+		for k := 0; k < c.RowSpan; k++ {
+			if r := r0 + k; r >= 0 && r < len(rows) {
+				rows[r] = append(rows[r], c)
+			}
+		}
+	}
+	for r := range rows {
+		cells := rows[r]
+		sort.Slice(cells, func(i, j int) bool {
+			xi, xj := snap(cells[i]), snap(cells[j])
+			if xi != xj {
+				return xi < xj
+			}
+			return cells[i].ID < cells[j].ID
+		})
+		for i := 1; i < len(cells); i++ {
+			if snap(cells[i]) < snap(cells[i-1])+cells[i-1].W-eps {
+				// Attribute the violation to the right cell of the pair,
+				// matching the left-to-right check the paper describes.
+				bad[cells[i].ID] = true
+			}
+		}
+	}
+	return len(bad)
+}
+
+// shoveLeft pushes cells left, right-to-left within each row, so no cell
+// crosses the right boundary and cells in a row do not overlap (up to the
+// movement multi-row cells induce in their other rows; a few fixed-point
+// passes make those consistent). Cells only move left, ordering is
+// preserved, and cells already separated are untouched.
+func shoveLeft(d *design.Design) {
+	// Row membership including every row a multi-row cell crosses.
+	rows := make([][]*design.Cell, len(d.Rows))
+	for _, c := range d.Cells {
+		if c.Fixed {
+			continue
+		}
+		r0 := d.RowAt(c.Y + d.RowHeight/2)
+		for k := 0; k < c.RowSpan; k++ {
+			rows[r0+k] = append(rows[r0+k], c)
+		}
+	}
+	for r := range rows {
+		sort.Slice(rows[r], func(i, j int) bool {
+			if rows[r][i].X != rows[r][j].X {
+				return rows[r][i].X > rows[r][j].X // right to left
+			}
+			return rows[r][i].ID > rows[r][j].ID
+		})
+	}
+	const eps = 1e-9
+	for pass := 0; pass < 6; pass++ {
+		changed := false
+		for r := range rows {
+			limit := d.Core.Hi.X
+			for _, c := range rows[r] {
+				if c.X+c.W > limit+eps {
+					c.X = limit - c.W
+					changed = true
+				}
+				if c.X < d.Core.Lo.X {
+					// Row genuinely overfull; leave at the left edge and let
+					// the repair stage handle the remainder.
+					c.X = d.Core.Lo.X
+				}
+				limit = c.X
+			}
+			// Multi-row cells may have moved; restore the right-to-left
+			// invariant lazily by re-sorting when needed on the next pass.
+			sort.Slice(rows[r], func(i, j int) bool {
+				if rows[r][i].X != rows[r][j].X {
+					return rows[r][i].X > rows[r][j].X
+				}
+				return rows[r][i].ID > rows[r][j].ID
+			})
+		}
+		if !changed {
+			break
+		}
+	}
+}
+
+// snapClamp snaps x to the site grid and clamps so the cell stays inside
+// the row.
+func snapClamp(d *design.Design, c *design.Cell, x float64) float64 {
+	s := d.SnapX(x)
+	maxX := d.Core.Hi.X - c.W
+	if s > maxX {
+		s = d.SnapX(maxX)
+		// SnapX rounds; make sure we end up inside.
+		if s > maxX {
+			s -= d.SiteW
+		}
+	}
+	if s < d.Core.Lo.X {
+		s = d.Core.Lo.X
+	}
+	return s
+}
+
+// blockFixed marks every site a fixed cell touches as occupied, whether or
+// not the cell is site-aligned.
+func blockFixed(occ *design.Occupancy, d *design.Design, c *design.Cell) {
+	occ.BlockArea(c.ID, c.X, c.Y, c.W, c.H)
+}
