@@ -9,9 +9,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"mclg/internal/baselines/chow"
@@ -43,8 +46,20 @@ func main() {
 		boundRight = flag.Bool("boundright", false, "solve with exact right-boundary constraints (extension)")
 		runGP      = flag.Bool("gp", false, "re-derive the global placement from the netlist (internal/gp) before legalizing")
 		verbose    = flag.Bool("v", false, "print per-stage details")
+		timeout    = flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
+		resilient  = flag.Bool("resilient", false, "with -method ours: run the fallback cascade (mmsim -> retuned -> pgs -> greedy)")
 	)
 	flag.Parse()
+
+	// SIGINT/SIGTERM and -timeout cancel the same context; every solver
+	// stage polls it and aborts with a typed mclgerr.ErrCanceled error.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	d, err := loadDesign(*auxPath, *benchName, *scale)
 	if err != nil {
@@ -84,9 +99,29 @@ func main() {
 	case "ours":
 		opts := core.Options{Lambda: *lambda, Beta: *beta, Theta: *theta, Eps: *eps,
 			AutoTheta: *autoTheta, BoundRight: *boundRight}
-		stats, err := core.New(opts).Legalize(d)
-		if err != nil {
-			fatal(err)
+		var stats *core.Stats
+		if *resilient {
+			rs, err := core.NewResilient(core.ResilientOptions{Base: opts}).LegalizeContext(ctx, d)
+			if err != nil {
+				fatal(err)
+			}
+			stats = &rs.Stats
+			fmt.Printf("  resilient: succeeded on rung %q after %d attempt(s)\n", rs.Rung, len(rs.Attempts))
+			if *verbose {
+				for _, a := range rs.Attempts {
+					if a.Err != nil {
+						fmt.Printf("    %s failed in %v: %v\n", a.Rung, a.Elapsed, a.Err)
+					} else {
+						fmt.Printf("    %s succeeded in %v\n", a.Rung, a.Elapsed)
+					}
+				}
+			}
+		} else {
+			var err error
+			stats, err = core.New(opts).LegalizeContext(ctx, d)
+			if err != nil {
+				fatal(err)
+			}
 		}
 		if *verbose {
 			fmt.Printf("  vars=%d cons=%d iters=%d converged=%v\n",
@@ -97,18 +132,18 @@ func main() {
 				stats.BuildTime, stats.SolveTime, stats.TetrisTime)
 		}
 	case "dac16":
-		if err := chow.Legalize(d); err != nil {
+		if err := chow.LegalizeContext(ctx, d); err != nil {
 			fatal(err)
 		}
 	case "dac16imp":
-		if err := chow.LegalizeImproved(d, chow.Options{}); err != nil {
+		if err := chow.LegalizeImprovedContext(ctx, d, chow.Options{}); err != nil {
 			fatal(err)
 		}
 	case "aspdac17":
-		if err := wang.Legalize(d, wang.Options{}); err != nil {
+		if err := wang.LegalizeContext(ctx, d, wang.Options{}); err != nil {
 			fatal(err)
 		}
-		if _, err := tetris.Allocate(d); err != nil {
+		if _, err := tetris.AllocateContext(ctx, d); err != nil {
 			fatal(err)
 		}
 	default:
@@ -121,7 +156,7 @@ func main() {
 		} else if *refineObj != "disp" {
 			fatal(fmt.Errorf("unknown refine objective %q", *refineObj))
 		}
-		res, err := refine.Refine(d, refine.Options{Objective: obj})
+		res, err := refine.RefineContext(ctx, d, refine.Options{Objective: obj})
 		if err != nil {
 			fatal(err)
 		}

@@ -17,10 +17,12 @@
 package chow
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"mclg/internal/design"
+	"mclg/internal/mclgerr"
 	"mclg/internal/tetris"
 )
 
@@ -35,21 +37,35 @@ type Options struct {
 // Cells are processed in global x order; each is placed at the free
 // position nearest to its global-placement location.
 func Legalize(d *design.Design) error {
-	_, err := run(d, Options{RefinePasses: -1})
+	return LegalizeContext(context.Background(), d)
+}
+
+// LegalizeContext is Legalize with cooperative cancellation.
+func LegalizeContext(ctx context.Context, d *design.Design) error {
+	_, err := run(ctx, d, Options{RefinePasses: -1})
 	return err
 }
 
 // LegalizeImproved runs the greedy pass plus local refinement (the
 // "DAC'16-Imp" column).
 func LegalizeImproved(d *design.Design, opts Options) error {
+	return LegalizeImprovedContext(context.Background(), d, opts)
+}
+
+// LegalizeImprovedContext is LegalizeImproved with cooperative cancellation.
+func LegalizeImprovedContext(ctx context.Context, d *design.Design, opts Options) error {
 	if opts.RefinePasses == 0 {
 		opts.RefinePasses = 3
 	}
-	_, err := run(d, opts)
+	_, err := run(ctx, d, opts)
 	return err
 }
 
-func run(d *design.Design, opts Options) (*design.Occupancy, error) {
+// cancelCheckEvery is how many per-cell placement steps pass between
+// context polls.
+const cancelCheckEvery = 256
+
+func run(ctx context.Context, d *design.Design, opts Options) (*design.Occupancy, error) {
 	occ := design.NewOccupancy(d)
 	for _, c := range d.Cells {
 		if c.Fixed {
@@ -70,10 +86,16 @@ func run(d *design.Design, opts Options) (*design.Occupancy, error) {
 		return a.ID < b.ID
 	})
 	var failed []*design.Cell
-	for _, c := range cells {
+	for i, c := range cells {
+		if i%cancelCheckEvery == 0 {
+			if err := mclgerr.FromContext(ctx); err != nil {
+				return nil, err
+			}
+		}
 		row := d.NearestCorrectRow(c, c.GY)
 		if row < 0 {
-			return nil, fmt.Errorf("chow: cell %d has no compatible row", c.ID)
+			return nil, fmt.Errorf("chow: cell %d has no compatible row: %w",
+				c.ID, mclgerr.ErrInfeasibleRow)
 		}
 		placeNearest(d, occ, c, c.GX, c.GY, 3, &failed)
 	}
@@ -86,7 +108,7 @@ func run(d *design.Design, opts Options) (*design.Occupancy, error) {
 				c.X, c.Y = c.GX, d.RowY(row)
 			}
 		}
-		if _, err := tetris.Allocate(d); err != nil {
+		if _, err := tetris.AllocateContext(ctx, d); err != nil {
 			return nil, fmt.Errorf("chow: fallback allocation: %w", err)
 		}
 		// The occupancy grid is stale after the global repair; rebuild it
@@ -102,7 +124,14 @@ func run(d *design.Design, opts Options) (*design.Occupancy, error) {
 	}
 
 	for pass := 0; pass < opts.RefinePasses; pass++ {
-		if refinePass(d, occ) == 0 {
+		if err := mclgerr.FromContext(ctx); err != nil {
+			return nil, err
+		}
+		moved, err := refinePass(d, occ)
+		if err != nil {
+			return nil, err
+		}
+		if moved == 0 {
 			break
 		}
 	}
@@ -112,7 +141,7 @@ func run(d *design.Design, opts Options) (*design.Occupancy, error) {
 // refinePass re-seats every cell at the free position nearest its global
 // location, keeping the move only when it strictly reduces squared
 // displacement. Returns the number of cells moved.
-func refinePass(d *design.Design, occ *design.Occupancy) int {
+func refinePass(d *design.Design, occ *design.Occupancy) (int, error) {
 	moved := 0
 	cells := movable(d)
 	// Worst-displaced first: they have the most to gain from the space
@@ -137,13 +166,15 @@ func refinePass(d *design.Design, occ *design.Occupancy) int {
 				continue
 			}
 		}
-		// Put it back.
+		// Put it back. The spot was just freed, so failure here means the
+		// occupancy grid no longer matches the cell positions — corrupt
+		// state we surface as a typed error rather than a panic.
 		if err := occ.Place(c, c.X, c.Y); err != nil {
-			// Should be impossible: the spot was just freed.
-			panic(fmt.Sprintf("chow: lost position of cell %d: %v", c.ID, err))
+			return moved, fmt.Errorf("chow: lost position of cell %d: %v: %w",
+				c.ID, err, mclgerr.ErrUnplacedCells)
 		}
 	}
-	return moved
+	return moved, nil
 }
 
 // placeNearest places c at the free position nearest (tx, ty). When

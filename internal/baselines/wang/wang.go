@@ -20,12 +20,14 @@
 package wang
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
 	"mclg/internal/abacus"
 	"mclg/internal/design"
+	"mclg/internal/mclgerr"
 )
 
 // Options tunes the baseline.
@@ -76,6 +78,16 @@ func (st *state) park(c *design.Cell) {
 // Legalize runs the baseline, mutating cell positions. Positions are left
 // real-valued within segments; callers snap via the tetris allocator.
 func Legalize(d *design.Design, opts Options) error {
+	return LegalizeContext(context.Background(), d, opts)
+}
+
+// cancelCheckEvery is how many per-cell sweep steps pass between context
+// polls.
+const cancelCheckEvery = 256
+
+// LegalizeContext is Legalize with cooperative cancellation in the per-cell
+// Abacus sweep.
+func LegalizeContext(ctx context.Context, d *design.Design, opts Options) error {
 	if opts.RowSearchRange == 0 {
 		opts.RowSearchRange = 6
 	}
@@ -105,7 +117,12 @@ func Legalize(d *design.Design, opts Options) error {
 
 	// Single Abacus-style sweep over all cells.
 	var queue []*design.Cell // singles displaced by obstacle splits
-	for _, c := range cells {
+	for i, c := range cells {
+		if i%cancelCheckEvery == 0 {
+			if err := mclgerr.FromContext(ctx); err != nil {
+				return err
+			}
+		}
 		if c.RowSpan == 1 {
 			if err := st.insertSingle(c); err != nil {
 				return err

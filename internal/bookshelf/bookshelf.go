@@ -21,10 +21,12 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 
 	"mclg/internal/design"
+	"mclg/internal/mclgerr"
 )
 
 // Files names the Bookshelf component files. Wts (net weights) is
@@ -128,6 +130,12 @@ func ReadFiles(files Files, name string) (*design.Design, error) {
 			return nil, err
 		}
 	}
+	// Final structural gate: anything the per-file parsers could not see in
+	// isolation (cells wider than the core, spans taller than the core, …)
+	// surfaces here as ErrInvalidInput instead of a downstream panic.
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
 	return d, nil
 }
 
@@ -165,8 +173,8 @@ func readWts(path string, d *design.Design) error {
 			continue
 		}
 		w, err := strconv.ParseFloat(fields[1], 64)
-		if err != nil || w < 0 {
-			return fmt.Errorf("bookshelf: %s:%d: bad weight %q", path, lineNo, fields[1])
+		if err != nil || w < 0 || !isFinite(w) {
+			return mclgerr.Invalidf("bookshelf: %s:%d: bad weight %q", path, lineNo, fields[1])
 		}
 		d.Nets[i].Weight = w
 	}
@@ -175,6 +183,7 @@ func readWts(path string, d *design.Design) error {
 
 type sclRow struct {
 	y, height, siteW, origin float64
+	spacing                  float64 // 0 when the file omits Sitespacing
 	numSites                 int
 }
 
@@ -216,6 +225,8 @@ func readScl(path string) ([]sclRow, error) {
 				cur.height, err = strconv.ParseFloat(vals[0], 64)
 			case "sitewidth":
 				cur.siteW, err = strconv.ParseFloat(vals[0], 64)
+			case "sitespacing":
+				cur.spacing, err = strconv.ParseFloat(vals[0], 64)
 			case "subroworigin":
 				cur.origin, err = strconv.ParseFloat(vals[0], 64)
 				if err == nil && len(vals) >= 3 && strings.EqualFold(vals[1], "numsites") {
@@ -253,13 +264,31 @@ func designFromRows(name string, rows []sclRow) (*design.Design, error) {
 	origin := rows[0].origin
 	minY := rows[0].y
 	maxSites := 0
-	for _, r := range rows {
+	ys := make([]float64, 0, len(rows))
+	for i, r := range rows {
+		if !isFinite(r.y) || !isFinite(r.height) || !isFinite(r.siteW) || !isFinite(r.origin) {
+			return nil, mclgerr.Invalidf("bookshelf: row %d has non-finite geometry", i)
+		}
 		if math.Abs(r.height-h) > 1e-9 {
-			return nil, fmt.Errorf("bookshelf: non-uniform row heights (%g vs %g) unsupported", r.height, h)
+			return nil, mclgerr.Invalidf("bookshelf: non-uniform row heights (%g vs %g) unsupported", r.height, h)
 		}
 		if math.Abs(r.siteW-sw) > 1e-9 {
-			return nil, fmt.Errorf("bookshelf: non-uniform site widths unsupported")
+			return nil, mclgerr.Invalidf("bookshelf: non-uniform site widths unsupported")
 		}
+		// Sitespacing, when present, is the site pitch. The design model
+		// quantizes by the site width, so a non-positive spacing is corrupt
+		// and a spacing different from the width (gapped sites) is a layout
+		// this pipeline cannot represent.
+		if r.spacing != 0 {
+			if !isFinite(r.spacing) || r.spacing <= 0 {
+				return nil, mclgerr.Invalidf("bookshelf: row %d site spacing %g must be positive", i, r.spacing)
+			}
+			if math.Abs(r.spacing-r.siteW) > 1e-9 {
+				return nil, mclgerr.Invalidf("bookshelf: row %d site spacing %g != site width %g unsupported",
+					i, r.spacing, r.siteW)
+			}
+		}
+		ys = append(ys, r.y)
 		if r.y < minY {
 			minY = r.y
 		}
@@ -270,14 +299,26 @@ func designFromRows(name string, rows []sclRow) (*design.Design, error) {
 			maxSites = r.numSites
 		}
 	}
-	if h <= 0 || sw <= 0 || maxSites <= 0 {
-		return nil, fmt.Errorf("bookshelf: degenerate row geometry (h=%g, sw=%g, sites=%d)", h, sw, maxSites)
+	if maxSites <= 0 {
+		return nil, mclgerr.Invalidf("bookshelf: degenerate row geometry (h=%g, sw=%g, sites=%d)", h, sw, maxSites)
 	}
-	return design.NewDesign(design.Config{
+	// The model indexes rows arithmetically from the core origin, so the row
+	// coordinates must tile the span exactly: duplicated or overlapping rows
+	// would silently alias in the occupancy grid.
+	sort.Float64s(ys)
+	for i, y := range ys {
+		want := minY + float64(i)*h
+		if math.Abs(y-want) > 1e-6*h {
+			return nil, mclgerr.Invalidf("bookshelf: row at y=%g overlaps or gaps the row stack (want y=%g)", y, want)
+		}
+	}
+	return design.NewDesignChecked(design.Config{
 		Name: name, NumRows: len(rows), NumSites: maxSites,
 		RowHeight: h, SiteW: sw, OriginX: origin, OriginY: minY,
-	}), nil
+	})
 }
+
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
 
 func readNodes(path string, d *design.Design) (map[string]int, error) {
 	f, err := os.Open(path)
@@ -298,18 +339,29 @@ func readNodes(path string, d *design.Design) (map[string]int, error) {
 		}
 		fields := strings.Fields(line)
 		if len(fields) < 3 {
-			return nil, fmt.Errorf("bookshelf: %s:%d: bad node line %q", path, lineNo, line)
+			return nil, mclgerr.Invalidf("bookshelf: %s:%d: bad node line %q", path, lineNo, line)
+		}
+		name := fields[0]
+		if _, dup := idx[name]; dup {
+			return nil, mclgerr.Invalidf("bookshelf: %s:%d: duplicate node %q", path, lineNo, name)
 		}
 		w, err1 := strconv.ParseFloat(fields[1], 64)
 		h, err2 := strconv.ParseFloat(fields[2], 64)
 		if err1 != nil || err2 != nil {
-			return nil, fmt.Errorf("bookshelf: %s:%d: bad node dimensions", path, lineNo)
+			return nil, mclgerr.Invalidf("bookshelf: %s:%d: bad node dimensions", path, lineNo)
 		}
-		c := d.AddCell(fields[0], w, h, design.VSS)
-		if len(fields) > 3 && strings.EqualFold(fields[3], "terminal") {
-			c.Fixed = true
+		terminal := len(fields) > 3 && strings.EqualFold(fields[3], "terminal")
+		var c *design.Cell
+		var err error
+		if terminal {
+			c, err = d.AddTerminalChecked(name, w, h)
+		} else {
+			c, err = d.AddCellChecked(name, w, h, design.VSS)
 		}
-		idx[fields[0]] = c.ID
+		if err != nil {
+			return nil, fmt.Errorf("bookshelf: %s:%d: %w", path, lineNo, err)
+		}
+		idx[name] = c.ID
 	}
 	return idx, sc.Err()
 }
@@ -335,12 +387,15 @@ func readPl(path string, d *design.Design, idx map[string]int) error {
 		}
 		id, ok := idx[fields[0]]
 		if !ok {
-			return fmt.Errorf("bookshelf: %s:%d: unknown node %q", path, lineNo, fields[0])
+			return mclgerr.Invalidf("bookshelf: %s:%d: unknown node %q", path, lineNo, fields[0])
 		}
 		x, err1 := strconv.ParseFloat(fields[1], 64)
 		y, err2 := strconv.ParseFloat(fields[2], 64)
 		if err1 != nil || err2 != nil {
-			return fmt.Errorf("bookshelf: %s:%d: bad coordinates", path, lineNo)
+			return mclgerr.Invalidf("bookshelf: %s:%d: bad coordinates", path, lineNo)
+		}
+		if !isFinite(x) || !isFinite(y) {
+			return mclgerr.Invalidf("bookshelf: %s:%d: non-finite coordinates (%g, %g)", path, lineNo, x, y)
 		}
 		c := d.Cells[id]
 		c.GX, c.GY = x, y
@@ -379,7 +434,7 @@ func readNets(path string, d *design.Design, idx map[string]int) error {
 			continue
 		}
 		if cur == nil {
-			return fmt.Errorf("bookshelf: %s:%d: pin before NetDegree", path, lineNo)
+			return mclgerr.Invalidf("bookshelf: %s:%d: pin before NetDegree", path, lineNo)
 		}
 		fields := strings.Fields(line)
 		if len(fields) < 1 {
@@ -387,7 +442,7 @@ func readNets(path string, d *design.Design, idx map[string]int) error {
 		}
 		id, ok := idx[fields[0]]
 		if !ok {
-			return fmt.Errorf("bookshelf: %s:%d: unknown node %q", path, lineNo, fields[0])
+			return mclgerr.Invalidf("bookshelf: %s:%d: unknown node %q", path, lineNo, fields[0])
 		}
 		// "name I/O : dx dy" with offsets from the cell center.
 		dx, dy := 0.0, 0.0
@@ -396,7 +451,10 @@ func readNets(path string, d *design.Design, idx map[string]int) error {
 			dx, err1 = strconv.ParseFloat(fields[3], 64)
 			dy, err2 = strconv.ParseFloat(fields[4], 64)
 			if err1 != nil || err2 != nil {
-				return fmt.Errorf("bookshelf: %s:%d: bad pin offsets", path, lineNo)
+				return mclgerr.Invalidf("bookshelf: %s:%d: bad pin offsets", path, lineNo)
+			}
+			if !isFinite(dx) || !isFinite(dy) {
+				return mclgerr.Invalidf("bookshelf: %s:%d: non-finite pin offsets (%g, %g)", path, lineNo, dx, dy)
 			}
 		}
 		c := d.Cells[id]

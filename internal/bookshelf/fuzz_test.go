@@ -24,6 +24,28 @@ func FuzzReadFiles(f *testing.F) {
 		"CoreRow Horizontal\nCoordinate : 5\nHeight : 10\nSitewidth : 2\nSubrowOrigin : 1 NumSites : 3\nEnd\n",
 		"NetDegree : 1 solo\n  a I : 0 0\n",
 	)
+	// Corrupted variants of a valid file set: non-finite coordinates,
+	// duplicate nodes, degenerate site spacing, overlapping rows, and a
+	// truncated nets file. Each must be rejected, not crash the reader.
+	f.Add(
+		"UCLA nodes 1.0\n  a 4 10\n  a 4 10\n",
+		"a NaN Inf : N\n",
+		"CoreRow Horizontal\n  Coordinate : 0\n  Height : 10\n  Sitewidth : 1\n  Sitespacing : 0\n  SubrowOrigin : 0  NumSites : 50\nEnd\n",
+		"  a I : 0 0\n",
+	)
+	f.Add(
+		"UCLA nodes 1.0\n  a 0 -10\n",
+		"a 1e308 -1e308 : N\n",
+		"CoreRow Horizontal\n  Coordinate : 0\n  Height : 10\n  Sitewidth : 1\n  SubrowOrigin : 0  NumSites : 50\nEnd\n"+
+			"CoreRow Horizontal\n  Coordinate : 5\n  Height : 10\n  Sitewidth : 1\n  SubrowOrigin : 0  NumSites : 50\nEnd\n",
+		"NetDegree : 2 n\n  a I : NaN 0\n",
+	)
+	f.Add(
+		"UCLA nodes 1.0\n  a 4 10\nNumNodes",
+		"a 3 0",
+		"CoreRow Horizontal\n  Coordinate : NaN\n  Height : Inf\n  Sitewidth",
+		"NetDegree : 2",
+	)
 	f.Fuzz(func(t *testing.T, nodes, pl, scl, nets string) {
 		dir := t.TempDir()
 		files := Files{

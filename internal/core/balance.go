@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"mclg/internal/design"
+	"mclg/internal/mclgerr"
 )
 
 // BalanceRows repairs row over-subscription after AssignRows: when the
@@ -82,8 +83,8 @@ func BalanceRows(d *design.Design) error {
 			return nil
 		}
 		if moves >= maxMoves {
-			return fmt.Errorf("core: BalanceRows did not converge (row %d overloaded by %.1f)",
-				over, load[over]-capacity[over])
+			return fmt.Errorf("core: BalanceRows did not converge (row %d overloaded by %.1f): %w",
+				over, load[over]-capacity[over], mclgerr.ErrInfeasibleRow)
 		}
 		// Candidates: cells whose bottom row is `over` or that span it.
 		cands := append([]*design.Cell(nil), byRow[over]...)
@@ -113,7 +114,8 @@ func BalanceRows(d *design.Design) error {
 			}
 		}
 		if !moved {
-			return fmt.Errorf("core: BalanceRows stuck: no destination for any cell of row %d", over)
+			return fmt.Errorf("core: BalanceRows stuck: no destination for any cell of row %d: %w",
+				over, mclgerr.ErrInfeasibleRow)
 		}
 	}
 }

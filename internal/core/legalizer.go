@@ -1,11 +1,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"math"
 	"time"
 
 	"mclg/internal/design"
 	"mclg/internal/lcp"
+	"mclg/internal/mclgerr"
 	"mclg/internal/tetris"
 )
 
@@ -81,6 +84,53 @@ func DefaultOptions() Options {
 	}
 }
 
+// Validate rejects parameter values outside the domains the convergence
+// theory (Theorems 1–2) and the pipeline assume. It is called on the
+// *post-default* options (New zero-fills before validating), so zero values
+// never reach it; explicit nonsense does. Returned errors match
+// mclgerr.ErrInvalidInput.
+func (o Options) Validate() error {
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"Lambda", o.Lambda}, {"Beta", o.Beta}, {"Theta", o.Theta},
+		{"Gamma", o.Gamma}, {"Eps", o.Eps}, {"ResidualTol", o.ResidualTol},
+		{"OmegaR", o.OmegaR},
+	} {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+			return mclgerr.Invalidf("options: %s = %g must be finite", f.name, f.v)
+		}
+	}
+	if o.Lambda < 0 {
+		return mclgerr.Invalidf("options: Lambda = %g must be non-negative", o.Lambda)
+	}
+	if o.Beta != 0 && (o.Beta <= 0 || o.Beta >= 2) {
+		return mclgerr.Invalidf("options: Beta = %g must lie in (0, 2)", o.Beta)
+	}
+	if o.Theta < 0 {
+		return mclgerr.Invalidf("options: Theta = %g must be non-negative", o.Theta)
+	}
+	if o.Gamma < 0 {
+		return mclgerr.Invalidf("options: Gamma = %g must be non-negative", o.Gamma)
+	}
+	if o.Eps < 0 {
+		return mclgerr.Invalidf("options: Eps = %g must be non-negative", o.Eps)
+	}
+	if o.MaxIter < 0 {
+		return mclgerr.Invalidf("options: MaxIter = %d must be non-negative", o.MaxIter)
+	}
+	if o.OmegaR < 0 {
+		return mclgerr.Invalidf("options: OmegaR = %g must be non-negative", o.OmegaR)
+	}
+	for i, v := range o.S0 {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return mclgerr.Invalidf("options: S0[%d] = %g must be finite", i, v)
+		}
+	}
+	return nil
+}
+
 // Stats reports what a legalization run did.
 type Stats struct {
 	NumVars, NumCons int
@@ -135,29 +185,46 @@ func New(opts Options) *Legalizer {
 // Legalize runs row assignment, the MMSIM solve, multi-row restoration, and
 // the Tetris-like allocation, mutating the design's cell positions.
 func (l *Legalizer) Legalize(d *design.Design) (*Stats, error) {
+	return l.LegalizeContext(context.Background(), d)
+}
+
+// LegalizeContext is Legalize with input validation at entry and cooperative
+// cancellation: the options and design are gated before any stage runs, and
+// a canceled ctx aborts the MMSIM hot loop and the allocation stage with an
+// mclgerr.ErrCanceled-matching error.
+func (l *Legalizer) LegalizeContext(ctx context.Context, d *design.Design) (*Stats, error) {
+	if err := l.Opts.Validate(); err != nil {
+		return nil, mclgerr.Stage("validate", err)
+	}
+	if err := d.Validate(); err != nil {
+		return nil, mclgerr.Stage("validate", err)
+	}
+	if err := mclgerr.FromContext(ctx); err != nil {
+		return nil, err
+	}
 	stats := &Stats{}
 	t0 := time.Now()
 
 	if err := AssignRows(d); err != nil {
-		return nil, err
+		return nil, mclgerr.Stage("assign-rows", err)
 	}
 	if l.Opts.BoundRight {
 		// Boundary constraints require per-row capacity feasibility.
 		if err := BalanceRows(d); err != nil {
-			return nil, err
+			return nil, mclgerr.Stage("balance-rows", err)
 		}
 	}
 	p, err := BuildProblemBounded(d, l.Opts.Lambda, l.Opts.BoundRight)
 	if err != nil {
-		return nil, err
+		return nil, mclgerr.Stage("build", err)
 	}
 	stats.NumVars, stats.NumCons = p.NumVars, p.NumCons
 	stats.BuildTime = time.Since(t0)
 
 	t1 := time.Now()
-	x, solveStats, err := SolveMMSIM(p, l.Opts)
+	x, solveStats, err := SolveMMSIMContext(ctx, p, l.Opts)
 	if err != nil {
-		return nil, err
+		return nil, mclgerr.Stage("mmsim", err)
 	}
 	stats.Iterations = solveStats.Iterations
 	stats.Converged = solveStats.Converged
@@ -169,9 +236,9 @@ func (l *Legalizer) Legalize(d *design.Design) (*Stats, error) {
 
 	if !l.Opts.SkipTetris {
 		t2 := time.Now()
-		tres, err := tetris.Allocate(d)
+		tres, err := tetris.AllocateContext(ctx, d)
 		if err != nil {
-			return nil, err
+			return nil, mclgerr.Stage("tetris", err)
 		}
 		stats.Illegal = tres.Illegal
 		stats.Unplaced = tres.Unplaced
@@ -192,6 +259,12 @@ type SolveStats struct {
 // structured MMSIM. It returns the subcell x solution (length p.NumVars,
 // relative to the core's left edge).
 func SolveMMSIM(p *Problem, opts Options) ([]float64, *SolveStats, error) {
+	return SolveMMSIMContext(context.Background(), p, opts)
+}
+
+// SolveMMSIMContext is SolveMMSIM with cooperative cancellation in the
+// MMSIM hot loop.
+func SolveMMSIMContext(ctx context.Context, p *Problem, opts Options) ([]float64, *SolveStats, error) {
 	st := &SolveStats{ThetaUsed: opts.Theta}
 	if p.NumVars == 0 {
 		st.Converged = true
@@ -233,6 +306,10 @@ func SolveMMSIM(p *Problem, opts Options) ([]float64, *SolveStats, error) {
 	}
 
 	s0 := opts.S0
+	if s0 != nil && len(s0) != p.NumVars+p.NumCons {
+		return nil, nil, mclgerr.Invalidf("core: S0 has length %d, want NumVars+NumCons = %d",
+			len(s0), p.NumVars+p.NumCons)
+	}
 	if s0 == nil && !opts.ColdStart {
 		// Warm start at the global-placement positions with zero
 		// multipliers: for z > 0 the modulus substitution gives
@@ -251,7 +328,7 @@ func SolveMMSIM(p *Problem, opts Options) ([]float64, *SolveStats, error) {
 		resTol = 0.5
 	}
 	prob := &lcp.Problem{A: p.AssembleLCPMatrix(), Q: p.LCPVector()}
-	res, err := lcp.MMSIM(prob, sp, lcp.Options{
+	res, err := lcp.MMSIMContext(ctx, prob, sp, lcp.Options{
 		Gamma:       opts.Gamma,
 		Eps:         opts.Eps,
 		MaxIter:     opts.MaxIter,

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"context"
+
+	"mclg/internal/lcp"
+	"mclg/internal/sparse"
+)
+
+// SolvePGS solves the relaxed legalization QP with projected Gauss–Seidel
+// on the *dual* Schur-complement LCP instead of the primal saddle-point
+// system the MMSIM iterates on:
+//
+//	S = B H⁻¹ Bᵀ,  q̃ = −(B H⁻¹ p + (−b)) = B H⁻¹ (−p) − b
+//	find μ ≥ 0 with S μ + q̃ ≥ 0, μᵀ(S μ + q̃) = 0
+//	x = H⁻¹ (Bᵀ μ − p)
+//
+// S is symmetric positive semi-definite with strictly positive diagonal
+// (every row of B is nonzero and H is positive definite), so PGS is a
+// convergent coordinate descent with no splitting constants to tune — the
+// property that makes this the fallback when the structured MMSIM diverges
+// under a bad (β*, θ*) choice. The trade-off is speed: information moves one
+// constraint per sweep along each row chain, so sweeps scale with chain
+// length, where the MMSIM's block solve moves it globally per iteration.
+//
+// Unlike the primal LCP, the dual drops the implicit x ≥ 0 left-boundary
+// complementarity; leftmost cells of an overfull row may come back slightly
+// negative. The Tetris allocation stage clamps and repairs those the same
+// way it repairs the relaxed right boundary, and the legality checker has
+// the final word, so the relaxation is sound for a recovery path.
+//
+// Returns the subcell x solution (length p.NumVars), the number of PGS
+// sweeps, and an error matching the mclgerr taxonomy on divergence, budget
+// exhaustion, or cancellation. On ErrIterBudget the returned iterate is
+// still the best available and callers may attempt to legalize it anyway.
+func SolvePGS(ctx context.Context, p *Problem, eps float64, maxIter int) ([]float64, int, error) {
+	n, m := p.NumVars, p.NumCons
+	if n == 0 {
+		return nil, 0, nil
+	}
+	// h = H⁻¹ p (p.P holds the linear term −target).
+	h := make([]float64, n)
+	p.SolveHShifted(1, p.Lambda, h, p.P)
+	if m == 0 {
+		// Unconstrained optimum x = −H⁻¹ p.
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = -h[i]
+		}
+		return x, 0, nil
+	}
+
+	// touch[v] lists the constraints whose B row has a nonzero at variable v,
+	// with the entry's sign: B[i][Left_i] = −1, B[i][Right_i] = +1.
+	type bEntry struct {
+		con  int
+		sign float64
+	}
+	touch := make([][]bEntry, n)
+	for i, c := range p.Cons {
+		touch[c.Left] = append(touch[c.Left], bEntry{i, -1})
+		if c.Right >= 0 {
+			touch[c.Right] = append(touch[c.Right], bEntry{i, 1})
+		}
+	}
+
+	// Assemble S column by column: column i is B · (H⁻¹ Bᵀ e_i), and
+	// H⁻¹ Bᵀ e_i only touches the subcell blocks of the one or two cells
+	// constraint i references, so assembly is O(Σ span) per column.
+	sb := sparse.NewBuilder(m, m)
+	idx := make([]int, 0, 2)
+	val := make([]float64, 0, 2)
+	for i, c := range p.Cons {
+		idx, val = idx[:0], val[:0]
+		idx = append(idx, c.Left)
+		val = append(val, -1)
+		if c.Right >= 0 {
+			idx = append(idx, c.Right)
+			val = append(val, 1)
+		}
+		p.ApplyHInvSparse(idx, val, func(v int, hv float64) {
+			for _, e := range touch[v] {
+				sb.Add(e.con, i, e.sign*hv)
+			}
+		})
+	}
+	s := sb.Build()
+
+	// q̃_i = −(B h)_i − b_i with b_i = p.Bv[i] and (B h)_i = −h[L] + h[R].
+	qd := make([]float64, m)
+	for i, c := range p.Cons {
+		bh := -h[c.Left]
+		if c.Right >= 0 {
+			bh += h[c.Right]
+		}
+		qd[i] = -bh - p.Bv[i]
+	}
+
+	mu, sweeps, err := lcp.PGSSparse(ctx, s, qd, nil, eps, maxIter)
+	if mu == nil {
+		return nil, sweeps, err
+	}
+
+	// x = H⁻¹ (Bᵀ μ − p).
+	rhs := make([]float64, n)
+	for i, c := range p.Cons {
+		rhs[c.Left] -= mu[i]
+		if c.Right >= 0 {
+			rhs[c.Right] += mu[i]
+		}
+	}
+	for i := range rhs {
+		rhs[i] -= p.P[i]
+	}
+	x := make([]float64, n)
+	p.SolveHShifted(1, p.Lambda, x, rhs)
+	return x, sweeps, err
+}

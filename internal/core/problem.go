@@ -21,6 +21,7 @@ import (
 	"sort"
 
 	"mclg/internal/design"
+	"mclg/internal/mclgerr"
 	"mclg/internal/sparse"
 )
 
@@ -69,12 +70,16 @@ type Problem struct {
 }
 
 // ErrNoRow is returned when a cell cannot be assigned to any rail-compatible
-// row (e.g. taller than the core).
+// row (e.g. taller than the core). It matches mclgerr.ErrInfeasibleRow via
+// errors.Is.
 type ErrNoRow struct{ CellID int }
 
 func (e ErrNoRow) Error() string {
 	return fmt.Sprintf("core: cell %d has no rail-compatible row", e.CellID)
 }
+
+// Unwrap maps the error into the taxonomy.
+func (e ErrNoRow) Unwrap() error { return mclgerr.ErrInfeasibleRow }
 
 // AssignRows sets every movable cell's Y to its nearest correct row
 // (Section 3 of the paper): the nearest row for odd-row-span cells, with

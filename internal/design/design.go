@@ -51,11 +51,20 @@ type Config struct {
 	OriginY    float64
 }
 
-// NewDesign builds an empty design with the given row/site structure.
+// NewDesign builds an empty design with the given row/site structure. It
+// panics on malformed configs and is intended for programmatic construction;
+// paths fed by user input (file loaders, CLI flags) must use
+// NewDesignChecked, which returns a typed error instead.
 func NewDesign(cfg Config) *Design {
-	if cfg.RowHeight <= 0 || cfg.SiteW <= 0 || cfg.NumRows <= 0 || cfg.NumSites <= 0 {
-		panic(fmt.Sprintf("design: invalid config %+v", cfg))
+	d, err := NewDesignChecked(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("design: invalid config %+v: %v", cfg, err))
 	}
+	return d
+}
+
+// newDesign builds the design from an already-validated config.
+func newDesign(cfg Config) *Design {
 	d := &Design{
 		Name:      cfg.Name,
 		RowHeight: cfg.RowHeight,
@@ -80,12 +89,18 @@ func NewDesign(cfg Config) *Design {
 }
 
 // AddCell appends a cell, assigning its ID and row span, and returns it.
-// The position fields are left to the caller.
+// The position fields are left to the caller. It panics on malformed
+// geometry; user-input-reachable paths must use AddCellChecked instead.
 func (d *Design) AddCell(name string, w, h float64, bottomRail RailType) *Cell {
-	span := int(math.Round(h / d.RowHeight))
-	if span < 1 || math.Abs(float64(span)*d.RowHeight-h) > 1e-9*d.RowHeight {
-		panic(fmt.Sprintf("design: cell %q height %g is not a multiple of row height %g", name, h, d.RowHeight))
+	c, err := d.AddCellChecked(name, w, h, bottomRail)
+	if err != nil {
+		panic(fmt.Sprintf("design: %v", err))
 	}
+	return c
+}
+
+// addCell appends a cell with an already-validated span.
+func (d *Design) addCell(name string, w, h float64, span int, bottomRail RailType) *Cell {
 	c := &Cell{
 		ID:         len(d.Cells),
 		Name:       name,

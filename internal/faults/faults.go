@@ -1,0 +1,252 @@
+// Package faults provides deterministic, seedable corruptors for the
+// legalization pipeline's resilience suite. Each corruptor mutates either a
+// healthy in-memory design or a serialized Bookshelf file set into one
+// specific failure mode (non-finite positions, degenerate geometry,
+// oversubscribed capacity, truncated files, …).
+//
+// The invariant the accompanying test suite asserts for every corruptor:
+// the pipeline fed the corrupted input yields either a fully legal
+// placement or an error matching the mclgerr taxonomy — never a panic, a
+// hang, or a silently illegal result.
+package faults
+
+import (
+	"math"
+	"math/rand"
+
+	"mclg/internal/design"
+)
+
+// Corruptor mutates an in-memory design into one failure mode. Apply must
+// be deterministic given the rand.Rand.
+type Corruptor struct {
+	Name string
+	// Expectation documents what a resilient pipeline should do with the
+	// corruption: "reject" (typed validation error), "recover" (still
+	// produce a legal placement), or "either" (legal or typed error, both
+	// acceptable).
+	Expectation string
+	Apply       func(r *rand.Rand, d *design.Design)
+}
+
+func movable(r *rand.Rand, d *design.Design) *design.Cell {
+	var cands []*design.Cell
+	for _, c := range d.Cells {
+		if !c.Fixed {
+			cands = append(cands, c)
+		}
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+	return cands[r.Intn(len(cands))]
+}
+
+// Corruptors returns the in-memory fault models.
+func Corruptors() []Corruptor {
+	return []Corruptor{
+		{
+			Name:        "nan-gp-position",
+			Expectation: "reject",
+			Apply: func(r *rand.Rand, d *design.Design) {
+				if c := movable(r, d); c != nil {
+					c.GX = math.NaN()
+					c.X = c.GX
+				}
+			},
+		},
+		{
+			Name:        "inf-gp-position",
+			Expectation: "reject",
+			Apply: func(r *rand.Rand, d *design.Design) {
+				if c := movable(r, d); c != nil {
+					c.GY = math.Inf(1)
+					c.Y = c.GY
+				}
+			},
+		},
+		{
+			Name:        "zero-width-cell",
+			Expectation: "reject",
+			Apply: func(r *rand.Rand, d *design.Design) {
+				if c := movable(r, d); c != nil {
+					c.W = 0
+				}
+			},
+		},
+		{
+			Name:        "negative-width-cell",
+			Expectation: "reject",
+			Apply: func(r *rand.Rand, d *design.Design) {
+				if c := movable(r, d); c != nil {
+					c.W = -c.W
+				}
+			},
+		},
+		{
+			Name:        "cell-taller-than-core",
+			Expectation: "reject",
+			Apply: func(r *rand.Rand, d *design.Design) {
+				if c := movable(r, d); c != nil {
+					c.RowSpan = len(d.Rows) + 2
+					c.H = float64(c.RowSpan) * d.RowHeight
+				}
+			},
+		},
+		{
+			Name:        "duplicate-cell-entry",
+			Expectation: "reject",
+			Apply: func(r *rand.Rand, d *design.Design) {
+				if c := movable(r, d); c != nil {
+					dup := *c
+					d.Cells = append(d.Cells, &dup)
+				}
+			},
+		},
+		{
+			Name:        "degenerate-site-width",
+			Expectation: "reject",
+			Apply: func(r *rand.Rand, d *design.Design) {
+				d.SiteW = 0
+				for i := range d.Rows {
+					d.Rows[i].SiteW = 0
+				}
+			},
+		},
+		{
+			Name:        "nan-row-coordinate",
+			Expectation: "reject",
+			Apply: func(r *rand.Rand, d *design.Design) {
+				d.Rows[r.Intn(len(d.Rows))].Y = math.NaN()
+			},
+		},
+		{
+			// Widths inflated past the total row capacity: the input is
+			// structurally valid, so validation passes and the solver chain
+			// must fail cleanly (no placement exists).
+			Name:        "oversubscribed-rows",
+			Expectation: "either",
+			Apply: func(r *rand.Rand, d *design.Design) {
+				coreW := d.Core.Hi.X - d.Core.Lo.X
+				for _, c := range d.Cells {
+					if c.Fixed {
+						continue
+					}
+					c.W = math.Min(c.W*4, coreW)
+				}
+			},
+		},
+		{
+			// Every global position collapsed to one point: extreme but
+			// valid input the cascade should still legalize.
+			Name:        "collapsed-gp-positions",
+			Expectation: "recover",
+			Apply: func(r *rand.Rand, d *design.Design) {
+				cx := (d.Core.Lo.X + d.Core.Hi.X) / 2
+				cy := (d.Core.Lo.Y + d.Core.Hi.Y) / 2
+				for _, c := range d.Cells {
+					if !c.Fixed {
+						c.GX, c.GY = cx, cy
+						c.X, c.Y = cx, cy
+					}
+				}
+			},
+		},
+		{
+			// Positions far outside the core: valid geometry, hostile start.
+			Name:        "gp-outside-core",
+			Expectation: "recover",
+			Apply: func(r *rand.Rand, d *design.Design) {
+				w := d.Core.Hi.X - d.Core.Lo.X
+				for _, c := range d.Cells {
+					if !c.Fixed && r.Intn(2) == 0 {
+						c.GX = d.Core.Hi.X + w*(1+r.Float64())
+						c.X = c.GX
+					}
+				}
+			},
+		},
+	}
+}
+
+// FileCorruptor mutates serialized Bookshelf files, keyed by extension
+// ("nodes", "pl", "scl", "nets").
+type FileCorruptor struct {
+	Name  string
+	Apply func(r *rand.Rand, files map[string][]byte)
+}
+
+func truncate(r *rand.Rand, b []byte) []byte {
+	if len(b) == 0 {
+		return b
+	}
+	return b[:r.Intn(len(b))]
+}
+
+// FileCorruptors returns the byte-level fault models.
+func FileCorruptors() []FileCorruptor {
+	return []FileCorruptor{
+		{
+			Name: "truncated-pl",
+			Apply: func(r *rand.Rand, files map[string][]byte) {
+				files["pl"] = truncate(r, files["pl"])
+			},
+		},
+		{
+			Name: "truncated-scl",
+			Apply: func(r *rand.Rand, files map[string][]byte) {
+				files["scl"] = truncate(r, files["scl"])
+			},
+		},
+		{
+			Name: "truncated-nodes",
+			Apply: func(r *rand.Rand, files map[string][]byte) {
+				files["nodes"] = truncate(r, files["nodes"])
+			},
+		},
+		{
+			Name: "nan-injected-pl",
+			Apply: func(r *rand.Rand, files map[string][]byte) {
+				b := files["pl"]
+				// Replace the first digit run of a random line with NaN.
+				lines := 0
+				for i := 0; i < len(b); i++ {
+					if b[i] == '\n' {
+						lines++
+					}
+				}
+				if lines == 0 {
+					return
+				}
+				target := r.Intn(lines)
+				line := 0
+				for i := 0; i < len(b) && line <= target; i++ {
+					if b[i] == '\n' {
+						line++
+						continue
+					}
+					if line == target && b[i] >= '0' && b[i] <= '9' {
+						out := append([]byte{}, b[:i]...)
+						out = append(out, []byte("NaN")...)
+						for ; i < len(b) && (b[i] >= '0' && b[i] <= '9' || b[i] == '.' || b[i] == '-'); i++ {
+						}
+						files["pl"] = append(out, b[i:]...)
+						return
+					}
+				}
+			},
+		},
+		{
+			Name: "flipped-bytes",
+			Apply: func(r *rand.Rand, files map[string][]byte) {
+				keys := []string{"nodes", "pl", "scl", "nets"}
+				k := keys[r.Intn(len(keys))]
+				b := files[k]
+				for i := 0; i < 8 && len(b) > 0; i++ {
+					b[r.Intn(len(b))] ^= byte(1 << r.Intn(8))
+				}
+				files[k] = b
+			},
+		},
+	}
+}

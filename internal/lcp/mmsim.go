@@ -1,10 +1,11 @@
 package lcp
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"math"
 
+	"mclg/internal/mclgerr"
 	"mclg/internal/sparse"
 )
 
@@ -68,12 +69,25 @@ type Result struct {
 	Converged  bool
 }
 
-// ErrDiverged is returned when the iteration produced non-finite values.
-var ErrDiverged = errors.New("lcp: MMSIM diverged (non-finite iterate)")
+// ErrDiverged is returned when the iteration produced non-finite values. It
+// matches mclgerr.ErrDiverged via errors.Is.
+var ErrDiverged = fmt.Errorf("lcp: MMSIM diverged (non-finite iterate): %w", mclgerr.ErrDiverged)
 
 // MMSIM runs Algorithm 1 of the paper: the modulus-based matrix splitting
 // iteration for LCP(q, A) with the caller-supplied splitting.
 func MMSIM(p *Problem, sp Splitting, opts Options) (*Result, error) {
+	return MMSIMContext(context.Background(), p, sp, opts)
+}
+
+// cancelCheckEvery is how many MMSIM iterations pass between context polls:
+// rare enough to stay off the profile, frequent enough that cancellation
+// lands within a few milliseconds even on large instances.
+const cancelCheckEvery = 16
+
+// MMSIMContext is MMSIM with cooperative cancellation: the hot loop polls
+// ctx every few iterations and aborts with an mclgerr.ErrCanceled-matching
+// error when the context is done.
+func MMSIMContext(ctx context.Context, p *Problem, sp Splitting, opts Options) (*Result, error) {
 	o := opts.withDefaults()
 	n := p.N()
 	if p.A.Rows != n || p.A.Cols != n {
@@ -93,6 +107,11 @@ func MMSIM(p *Problem, sp Splitting, opts Options) (*Result, error) {
 
 	res := &Result{}
 	for k := 0; k < o.MaxIter; k++ {
+		if k%cancelCheckEvery == 0 {
+			if err := mclgerr.FromContext(ctx); err != nil {
+				return nil, fmt.Errorf("lcp: MMSIM aborted at iteration %d: %w", k, err)
+			}
+		}
 		sparse.Abs(absS, s)
 		// rhs = N s + Ω|s| − A|s| − γ q
 		sp.ApplyN(rhs, s)

@@ -1,0 +1,149 @@
+// Package mclgerr defines the typed error taxonomy shared by every stage of
+// the legalization pipeline. Each failure a caller can react to is one of a
+// small set of sentinel errors, matchable with errors.Is; richer context
+// (which stage failed, iteration counts, residuals, offending cells) travels
+// in a StageError wrapper that preserves the sentinel through errors.Is /
+// errors.As.
+//
+// The contract every exported pipeline entry point honors:
+//
+//   - malformed input (NaN/Inf coordinates, non-positive widths, parameters
+//     outside their domain, unparsable Bookshelf files) → ErrInvalidInput;
+//   - the MMSIM iterate became non-finite → ErrDiverged;
+//   - the iteration budget ran out before convergence → ErrIterBudget;
+//   - a cell has no rail-compatible row or a row's capacity cannot hold its
+//     cells under boundary constraints → ErrInfeasibleRow;
+//   - the final placement left cells unplaced or failed the legality
+//     checker → ErrUnplacedCells;
+//   - the caller's context was canceled or its deadline expired →
+//     ErrCanceled (which also matches context.Canceled /
+//     context.DeadlineExceeded via errors.Is).
+//
+// A function either returns a placement that passes the design legality
+// checker or an error matching one of these sentinels — never a panic on
+// user-reachable input, and never a silently illegal result.
+package mclgerr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// Sentinel errors of the taxonomy. Match with errors.Is.
+var (
+	// ErrInvalidInput marks malformed designs, files, or options.
+	ErrInvalidInput = errors.New("mclg: invalid input")
+	// ErrDiverged marks a solver iterate that became non-finite.
+	ErrDiverged = errors.New("mclg: solver diverged")
+	// ErrIterBudget marks an iteration budget exhausted before convergence.
+	ErrIterBudget = errors.New("mclg: iteration budget exhausted")
+	// ErrInfeasibleRow marks a row assignment or row capacity infeasibility.
+	ErrInfeasibleRow = errors.New("mclg: infeasible row assignment")
+	// ErrUnplacedCells marks a result with unplaced or illegal cells.
+	ErrUnplacedCells = errors.New("mclg: unplaced or illegal cells")
+	// ErrCanceled marks a run aborted by context cancellation or deadline.
+	ErrCanceled = errors.New("mclg: canceled")
+)
+
+// sentinels lists the full taxonomy for IsTaxonomy.
+var sentinels = []error{
+	ErrInvalidInput, ErrDiverged, ErrIterBudget,
+	ErrInfeasibleRow, ErrUnplacedCells, ErrCanceled,
+}
+
+// IsTaxonomy reports whether err matches any sentinel of the taxonomy.
+func IsTaxonomy(err error) bool {
+	for _, s := range sentinels {
+		if errors.Is(err, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// StageError wraps a taxonomy sentinel (or a chain ending in one) with the
+// pipeline stage that failed and machine-readable diagnostics.
+type StageError struct {
+	Stage string // e.g. "validate", "assign-rows", "mmsim", "tetris", "pgs"
+	Err   error  // the underlying error; its chain carries the sentinel
+
+	// Optional diagnostics; zero values mean "not applicable".
+	Iterations int     // solver iterations performed
+	Residual   float64 // last LCP residual or step norm
+	Cells      []int   // offending cell IDs (truncated by callers if long)
+	Detail     string  // free-form human-readable context
+}
+
+func (e *StageError) Error() string {
+	msg := fmt.Sprintf("%s: %v", e.Stage, e.Err)
+	if e.Detail != "" {
+		msg += " (" + e.Detail + ")"
+	}
+	if e.Iterations > 0 {
+		msg += fmt.Sprintf(" [iterations=%d residual=%g]", e.Iterations, e.Residual)
+	}
+	if len(e.Cells) > 0 {
+		msg += fmt.Sprintf(" [cells=%v]", e.Cells)
+	}
+	return msg
+}
+
+// Unwrap exposes the wrapped error chain to errors.Is / errors.As.
+func (e *StageError) Unwrap() error { return e.Err }
+
+// Stage wraps err with the stage name, preserving nil.
+func Stage(stage string, err error) error {
+	if err == nil {
+		return nil
+	}
+	return &StageError{Stage: stage, Err: err}
+}
+
+// Invalidf builds an ErrInvalidInput-matching error with a formatted reason.
+func Invalidf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrInvalidInput, fmt.Sprintf(format, args...))
+}
+
+// Invalid wraps an existing error so it matches ErrInvalidInput, preserving
+// nil and avoiding double wrapping.
+func Invalid(err error) error {
+	if err == nil || errors.Is(err, ErrInvalidInput) {
+		return err
+	}
+	return fmt.Errorf("%w: %w", ErrInvalidInput, err)
+}
+
+// cancelError matches both ErrCanceled and the context error it wraps, so
+// callers can test errors.Is(err, mclgerr.ErrCanceled) or
+// errors.Is(err, context.DeadlineExceeded) interchangeably.
+type cancelError struct{ cause error }
+
+func (e *cancelError) Error() string { return ErrCanceled.Error() + ": " + e.cause.Error() }
+
+func (e *cancelError) Is(target error) bool { return target == ErrCanceled }
+
+func (e *cancelError) Unwrap() error { return e.cause }
+
+// FromContext converts a context's error into the taxonomy: nil while the
+// context is live, an ErrCanceled-matching error once it is done.
+func FromContext(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return &cancelError{cause: err}
+	}
+	return nil
+}
+
+// Canceled wraps an arbitrary cause as an ErrCanceled-matching error.
+func Canceled(cause error) error {
+	if cause == nil {
+		return nil
+	}
+	if errors.Is(cause, ErrCanceled) {
+		return cause
+	}
+	return &cancelError{cause: cause}
+}

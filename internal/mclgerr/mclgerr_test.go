@@ -1,0 +1,106 @@
+package mclgerr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestStageErrorPreservesSentinel(t *testing.T) {
+	err := Stage("mmsim", fmt.Errorf("after retune: %w", ErrDiverged))
+	if !errors.Is(err, ErrDiverged) {
+		t.Fatalf("errors.Is(err, ErrDiverged) = false for %v", err)
+	}
+	if errors.Is(err, ErrIterBudget) {
+		t.Fatalf("unexpected match on ErrIterBudget for %v", err)
+	}
+	var se *StageError
+	if !errors.As(err, &se) || se.Stage != "mmsim" {
+		t.Fatalf("errors.As StageError failed: %+v", se)
+	}
+}
+
+func TestStageNil(t *testing.T) {
+	if Stage("x", nil) != nil {
+		t.Fatal("Stage(nil) should be nil")
+	}
+	if Invalid(nil) != nil {
+		t.Fatal("Invalid(nil) should be nil")
+	}
+	if Canceled(nil) != nil {
+		t.Fatal("Canceled(nil) should be nil")
+	}
+}
+
+func TestInvalidfMatches(t *testing.T) {
+	err := Invalidf("beta %g out of (0, 2)", 3.0)
+	if !errors.Is(err, ErrInvalidInput) {
+		t.Fatalf("Invalidf does not match ErrInvalidInput: %v", err)
+	}
+	if !strings.Contains(err.Error(), "beta 3") {
+		t.Fatalf("formatted detail missing: %v", err)
+	}
+}
+
+func TestInvalidNoDoubleWrap(t *testing.T) {
+	base := Invalidf("bad")
+	if Invalid(base) != base {
+		t.Fatal("Invalid should not re-wrap an ErrInvalidInput chain")
+	}
+	wrapped := Invalid(errors.New("parse failure"))
+	if !errors.Is(wrapped, ErrInvalidInput) {
+		t.Fatalf("Invalid did not attach sentinel: %v", wrapped)
+	}
+}
+
+func TestFromContext(t *testing.T) {
+	if err := FromContext(context.Background()); err != nil {
+		t.Fatalf("live context produced %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := FromContext(ctx)
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("canceled context does not match ErrCanceled: %v", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled context does not match context.Canceled: %v", err)
+	}
+
+	dctx, dcancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer dcancel()
+	derr := FromContext(dctx)
+	if !errors.Is(derr, ErrCanceled) || !errors.Is(derr, context.DeadlineExceeded) {
+		t.Fatalf("deadline error does not match both sentinels: %v", derr)
+	}
+}
+
+func TestIsTaxonomy(t *testing.T) {
+	for _, s := range sentinels {
+		if !IsTaxonomy(Stage("s", fmt.Errorf("deep: %w", s))) {
+			t.Errorf("IsTaxonomy false for %v", s)
+		}
+	}
+	if IsTaxonomy(errors.New("random")) {
+		t.Error("IsTaxonomy true for unrelated error")
+	}
+	if IsTaxonomy(nil) {
+		t.Error("IsTaxonomy true for nil")
+	}
+}
+
+func TestStageErrorMessage(t *testing.T) {
+	err := &StageError{
+		Stage: "tetris", Err: ErrUnplacedCells,
+		Iterations: 12, Residual: 0.25, Cells: []int{3, 7}, Detail: "rebuild exhausted",
+	}
+	msg := err.Error()
+	for _, want := range []string{"tetris", "unplaced", "rebuild exhausted", "iterations=12", "[cells=[3 7]]"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("message %q missing %q", msg, want)
+		}
+	}
+}

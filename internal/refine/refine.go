@@ -15,11 +15,13 @@
 package refine
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
 	"mclg/internal/design"
+	"mclg/internal/mclgerr"
 	"mclg/internal/metrics"
 )
 
@@ -53,8 +55,14 @@ type Result struct {
 // Refine improves the placement in place. The input must be legal; the
 // output is guaranteed legal.
 func Refine(d *design.Design, opts Options) (*Result, error) {
+	return RefineContext(context.Background(), d, opts)
+}
+
+// RefineContext is Refine with cooperative cancellation between passes.
+func RefineContext(ctx context.Context, d *design.Design, opts Options) (*Result, error) {
 	if rep := design.CheckLegal(d); !rep.Legal() {
-		return nil, fmt.Errorf("refine: input placement is illegal: %v", rep)
+		return nil, fmt.Errorf("refine: input placement is illegal: %v: %w",
+			rep, mclgerr.ErrInvalidInput)
 	}
 	if opts.MaxPasses == 0 {
 		opts.MaxPasses = 5
@@ -78,9 +86,18 @@ func Refine(d *design.Design, opts Options) (*Result, error) {
 	}
 	res := &Result{Initial: r.objective()}
 	for pass := 0; pass < opts.MaxPasses; pass++ {
+		if err := mclgerr.FromContext(ctx); err != nil {
+			return nil, err
+		}
 		res.Passes = pass + 1
-		moved := r.slidePass()
-		swapped := r.swapPass()
+		moved, err := r.slidePass()
+		if err != nil {
+			return nil, err
+		}
+		swapped, err := r.swapPass()
+		if err != nil {
+			return nil, err
+		}
 		res.Slides += moved
 		res.Swaps += swapped
 		if moved+swapped == 0 {
@@ -193,7 +210,7 @@ func (r *refiner) target(c *design.Cell) (float64, float64) {
 
 // slidePass re-seats each movable cell at the free position nearest its
 // target, keeping the move only when the objective strictly improves.
-func (r *refiner) slidePass() int {
+func (r *refiner) slidePass() (int, error) {
 	cells := movableByGain(r.d)
 	moved := 0
 	for _, c := range cells {
@@ -208,15 +225,18 @@ func (r *refiner) slidePass() int {
 				continue
 			}
 		}
+		// The spot was just freed; failure means the occupancy grid no
+		// longer matches the cell positions.
 		if err := r.occ.Place(c, c.X, c.Y); err != nil {
-			panic(fmt.Sprintf("refine: lost position of cell %d: %v", c.ID, err))
+			return moved, fmt.Errorf("refine: lost position of cell %d: %v: %w",
+				c.ID, err, mclgerr.ErrUnplacedCells)
 		}
 	}
-	return moved
+	return moved, nil
 }
 
 // swapPass exchanges same-footprint cell pairs when beneficial.
-func (r *refiner) swapPass() int {
+func (r *refiner) swapPass() (int, error) {
 	d := r.d
 	// Bucket cells by (width, span, evenSpan ? bottomRail : -).
 	type key struct {
@@ -256,29 +276,34 @@ func (r *refiner) swapPass() int {
 					r.moveCell(a, b.X, b.Y)
 					r.moveCell(b, ax, ay)
 					// Footprints are identical; re-register both cells.
-					r.refreshOccupancy(a, b)
+					if err := r.refreshOccupancy(a, b); err != nil {
+						return swapped, err
+					}
 					swapped++
 				}
 			}
 		}
 	}
-	return swapped
+	return swapped, nil
 }
 
 // refreshOccupancy re-registers two swapped cells. Their footprints are
-// identical, so clearing both then placing both is always consistent.
-func (r *refiner) refreshOccupancy(a, b *design.Cell) {
+// identical, so clearing both then placing both is always consistent; a
+// failure means the occupancy grid is corrupt and is surfaced as a typed
+// error.
+func (r *refiner) refreshOccupancy(a, b *design.Cell) error {
 	// Clear any sites either owns (positions already swapped in the cells).
 	r.occ.Remove(a, b.X, b.Y)
 	r.occ.Remove(b, a.X, a.Y)
 	r.occ.Remove(a, a.X, a.Y)
 	r.occ.Remove(b, b.X, b.Y)
 	if err := r.occ.Place(a, a.X, a.Y); err != nil {
-		panic(fmt.Sprintf("refine: swap broke occupancy: %v", err))
+		return fmt.Errorf("refine: swap broke occupancy: %v: %w", err, mclgerr.ErrUnplacedCells)
 	}
 	if err := r.occ.Place(b, b.X, b.Y); err != nil {
-		panic(fmt.Sprintf("refine: swap broke occupancy: %v", err))
+		return fmt.Errorf("refine: swap broke occupancy: %v: %w", err, mclgerr.ErrUnplacedCells)
 	}
+	return nil
 }
 
 func (r *refiner) moveCell(c *design.Cell, x, y float64) {

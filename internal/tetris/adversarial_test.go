@@ -1,0 +1,141 @@
+package tetris
+
+import (
+	"math/rand"
+	"testing"
+
+	"mclg/internal/design"
+)
+
+// density returns movable cell area over core area, in site units.
+func density(d *design.Design) float64 {
+	area := 0.0
+	for _, c := range d.Cells {
+		if !c.Fixed {
+			area += (c.W / d.SiteW) * (c.H / d.RowHeight)
+		}
+	}
+	total := float64(len(d.Rows) * d.Rows[0].NumSites)
+	return area / total
+}
+
+// TestAllocateAdversarialDensitySingles packs a core to ~0.99 utilization
+// with every cell piled near the center, so the first greedy pass must
+// fragment and the repair machinery (bounded eviction, then the frontier
+// rebuild) carries the placement. The suite's invariant: full legality with
+// zero unplaced cells even at near-exact fill.
+func TestAllocateAdversarialDensitySingles(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	d := mkDesign(8, 120)
+	for r := 0; r < 8; r++ {
+		rem := 120
+		if r < 4 {
+			rem -= 3 // 12 sites of slack over 960: utilization 0.9875
+		}
+		for rem > 0 {
+			w := 2 + rng.Intn(5)
+			if w > rem {
+				w = rem
+			}
+			c := d.AddCell("c", float64(w), 10, design.VSS)
+			c.X = 60 + rng.NormFloat64()*5
+			c.Y = d.RowY(rng.Intn(8))
+			rem -= w
+		}
+	}
+	if dens := density(d); dens < 0.98 {
+		t.Fatalf("test construction broken: density %g < 0.98", dens)
+	}
+	res, err := Allocate(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Unplaced != 0 {
+		t.Fatalf("%d unplaced at density %.4f", res.Unplaced, density(d))
+	}
+	if rep := design.CheckLegal(d); !rep.Legal() {
+		t.Fatalf("illegal: %v", rep)
+	}
+	if !res.Rebuilt && res.Repaired == 0 {
+		t.Fatal("adversarial pile-up did not exercise the repair fallbacks")
+	}
+}
+
+// TestAllocateAdversarialDensityMixed repeats the saturation test with
+// double-height cells in the mix, which constrain row choice through rail
+// compatibility and make the packing much harder for the eviction and
+// frontier-compaction fallbacks.
+func TestAllocateAdversarialDensityMixed(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	d := mkDesign(8, 100) // 800 site units of capacity
+	area := 0
+	// Double-height cells first: width 4, both rails, piled at the center.
+	for i := 0; i < 12; i++ {
+		rail := design.VSS
+		if i%2 == 1 {
+			rail = design.VDD
+		}
+		c := d.AddCell("d", 4, 20, rail)
+		row := nearestCompatRow(d, c, rng.Intn(7))
+		c.X, c.Y = 50, d.RowY(row)
+		area += 8
+	}
+	// Singles fill the rest up to 98.5% utilization.
+	for area < 788 {
+		w := 2 + rng.Intn(4)
+		if area+w > 788 {
+			w = 788 - area
+		}
+		c := d.AddCell("c", float64(w), 10, design.VSS)
+		c.X = 50 + rng.NormFloat64()*8
+		c.Y = d.RowY(rng.Intn(8))
+		area += w
+	}
+	if dens := density(d); dens < 0.98 {
+		t.Fatalf("test construction broken: density %g < 0.98", dens)
+	}
+	res, err := Allocate(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Unplaced != 0 {
+		t.Fatalf("%d unplaced at density %.4f (rebuilt=%v)", res.Unplaced, density(d), res.Rebuilt)
+	}
+	if rep := design.CheckLegal(d); !rep.Legal() {
+		t.Fatalf("illegal: %v", rep)
+	}
+}
+
+// TestAllocateAdversarialAroundBlockage saturates the free space around a
+// fixed macro: evictions must respect the blockage and the rebuild must
+// route cells around it.
+func TestAllocateAdversarialAroundBlockage(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d := mkDesign(6, 80) // 480 site units
+	m := d.AddCell("macro", 20, 30, design.VSS)
+	m.Fixed = true
+	m.X, m.Y = 30, 10 // blocks 60 site units in rows 1–3
+	free := 480 - 60
+	area := 0
+	target := free * 98 / 100
+	for area < target {
+		w := 2 + rng.Intn(4)
+		if area+w > target {
+			w = target - area
+		}
+		c := d.AddCell("c", float64(w), 10, design.VSS)
+		c.X = 35 + rng.NormFloat64()*6 // piled onto the macro
+		c.Y = d.RowY(rng.Intn(6))
+		area += w
+	}
+	res, err := Allocate(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Unplaced != 0 {
+		t.Fatalf("%d unplaced around blockage (rebuilt=%v)", res.Unplaced, res.Rebuilt)
+	}
+	if rep := design.CheckLegal(d); !rep.Legal() {
+		t.Fatalf("illegal: %v", rep)
+	}
+}

@@ -10,11 +10,12 @@
 package tetris
 
 import (
-	"fmt"
+	"context"
 	"math"
 	"sort"
 
 	"mclg/internal/design"
+	"mclg/internal/mclgerr"
 )
 
 // Result reports what the allocation did.
@@ -38,6 +39,17 @@ type Result struct {
 // repair the remaining (illegal) cells one by one at their nearest free
 // position.
 func Allocate(d *design.Design) (*Result, error) {
+	return AllocateContext(context.Background(), d)
+}
+
+// cancelCheckEvery is how many per-cell repair steps pass between context
+// polls in the allocation loops.
+const cancelCheckEvery = 256
+
+// AllocateContext is Allocate with cooperative cancellation: the per-cell
+// placement and repair loops poll ctx periodically and abort with an
+// mclgerr.ErrCanceled-matching error when the context is done.
+func AllocateContext(ctx context.Context, d *design.Design) (*Result, error) {
 	res := &Result{}
 	occ := design.NewOccupancy(d)
 
@@ -64,7 +76,7 @@ func Allocate(d *design.Design) (*Result, error) {
 		row := d.RowAt(c.Y + d.RowHeight/2)
 		if row < 0 || row+c.RowSpan > len(d.Rows) ||
 			math.Abs(c.Y-d.RowY(row)) > 1e-6*d.RowHeight {
-			return nil, fmt.Errorf("tetris: cell %d not on a valid row (y=%g)", c.ID, c.Y)
+			return nil, mclgerr.Invalidf("tetris: cell %d not on a valid row (y=%g)", c.ID, c.Y)
 		}
 	}
 
@@ -107,7 +119,12 @@ func Allocate(d *design.Design) (*Result, error) {
 	})
 
 	var illegal []cand
-	for _, cd := range cands {
+	for i, cd := range cands {
+		if i%cancelCheckEvery == 0 {
+			if err := mclgerr.FromContext(ctx); err != nil {
+				return nil, err
+			}
+		}
 		y := d.RowY(cd.row)
 		if occ.Fits(cd.c, cd.x, y) {
 			if err := occ.Place(cd.c, cd.x, y); err != nil {
@@ -133,13 +150,21 @@ func Allocate(d *design.Design) (*Result, error) {
 		return a.ID < b.ID
 	})
 	var failed []*design.Cell
-	for _, cd := range illegal {
+	for i, cd := range illegal {
+		if i%cancelCheckEvery == 0 {
+			if err := mclgerr.FromContext(ctx); err != nil {
+				return nil, err
+			}
+		}
 		repairCell(d, occ, res, cd.c, cd.x, d.RowY(cd.row), 2, &failed)
 	}
 
 	res.RepairFailed = len(failed)
 	if len(failed) > 0 {
 		res.Rebuilt = true
+		if err := mclgerr.FromContext(ctx); err != nil {
+			return nil, err
+		}
 		// Heavy fragmentation: rebuild the whole placement from scratch,
 		// starting from the solver's own positions (earlier repair moves
 		// may have shuffled cells across rows and destroyed per-row
@@ -148,13 +173,22 @@ func Allocate(d *design.Design) (*Result, error) {
 		// fragments, fall back to frontier compaction, which packs rows
 		// monotonically and succeeds whenever per-row capacity allows.
 		restorePositions(d, original)
-		if rebuildNearest(d, res) > 0 {
-			restorePositions(d, original)
-			res.Unplaced = rebuildFrontier(d, res, false)
-			if res.Unplaced > 0 {
-				restorePositions(d, original)
-				res.Unplaced = rebuildFrontier(d, res, true)
+		if rebuildNearest(ctx, d, res) > 0 {
+			if err := mclgerr.FromContext(ctx); err != nil {
+				return nil, err
 			}
+			restorePositions(d, original)
+			res.Unplaced = rebuildFrontier(ctx, d, res, false)
+			if res.Unplaced > 0 {
+				if err := mclgerr.FromContext(ctx); err != nil {
+					return nil, err
+				}
+				restorePositions(d, original)
+				res.Unplaced = rebuildFrontier(ctx, d, res, true)
+			}
+		}
+		if err := mclgerr.FromContext(ctx); err != nil {
+			return nil, err
 		}
 	}
 	return res, nil
@@ -204,7 +238,9 @@ func blockedOccupancy(d *design.Design) *design.Occupancy {
 
 // rebuildNearest re-places every movable cell from scratch, biggest first,
 // each at the nearest free position. Returns the number of unplaced cells.
-func rebuildNearest(d *design.Design, res *Result) int {
+// A canceled ctx stops the sweep early, counting the rest as unplaced; the
+// caller translates that into an ErrCanceled return.
+func rebuildNearest(ctx context.Context, d *design.Design, res *Result) int {
 	occ := blockedOccupancy(d)
 	movable := movableCells(d)
 	sort.Slice(movable, func(i, j int) bool {
@@ -221,7 +257,11 @@ func rebuildNearest(d *design.Design, res *Result) int {
 		return a.ID < b.ID
 	})
 	unplaced := 0
-	for _, c := range movable {
+	for i, c := range movable {
+		if i%cancelCheckEvery == 0 && mclgerr.FromContext(ctx) != nil {
+			unplaced += len(movable) - i
+			break
+		}
 		x, y, ok := design.NearestFree(d, occ, c, c.X, c.Y)
 		if !ok {
 			unplaced++
@@ -244,8 +284,9 @@ func rebuildNearest(d *design.Design, res *Result) int {
 // minimizing displacement cost. Rows fill monotonically left to right, so no
 // space fragments. With compact == true the target is ignored entirely
 // (pure compaction), which succeeds for any instance whose rows have enough
-// aggregate capacity. Returns the number of unplaced cells.
-func rebuildFrontier(d *design.Design, res *Result, compact bool) int {
+// aggregate capacity. Returns the number of unplaced cells. A canceled ctx
+// stops the sweep early, counting the rest as unplaced.
+func rebuildFrontier(ctx context.Context, d *design.Design, res *Result, compact bool) int {
 	occ := blockedOccupancy(d)
 	movable := movableCells(d)
 	sort.Slice(movable, func(i, j int) bool {
@@ -260,7 +301,11 @@ func rebuildFrontier(d *design.Design, res *Result, compact bool) int {
 	})
 	frontier := make([]int, len(d.Rows)) // next free site index per row
 	unplaced := 0
-	for _, c := range movable {
+	for i, c := range movable {
+		if i%cancelCheckEvery == 0 && mclgerr.FromContext(ctx) != nil {
+			unplaced += len(movable) - i
+			break
+		}
 		widthSites := int(math.Ceil(c.W/d.SiteW - 1e-9))
 		maxStart := len(d.Rows) - c.RowSpan
 		bestRow, bestSite := -1, 0
