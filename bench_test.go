@@ -111,6 +111,30 @@ func BenchmarkTable2Legalizers(b *testing.B) {
 	}
 }
 
+// BenchmarkWorkersScaling measures the parallel hot path: the full pipeline
+// on the largest suite benchmark at fixed worker counts plus all cores.
+// Every variant produces the identical placement (the determinism contract
+// of internal/par), so only wall-clock may differ; compare against the
+// serial numbers in BENCH_baseline.json with cmd/benchdiff. On a 4+ core
+// machine workers=all is the speedup check over workers=1.
+func BenchmarkWorkersScaling(b *testing.B) {
+	base := genBench(b, "superblue19", benchScale)
+	for _, w := range []int{1, 2, 4, 0} {
+		name := fmt.Sprintf("workers=%d", w)
+		if w == 0 {
+			name = "workers=all"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				d := base.Clone()
+				if _, err := core.New(core.Options{Workers: w}).Legalize(d); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkSingleRowMMSIMvsPlaceRow regenerates the Section 5.3 experiment:
 // the MMSIM and Abacus PlaceRow on the single-height suite variants.
 func BenchmarkSingleRowMMSIMvsPlaceRow(b *testing.B) {

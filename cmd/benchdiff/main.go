@@ -1,0 +1,105 @@
+// Command benchdiff compares a go test -bench -json run against a committed
+// baseline and fails when any benchmark regressed beyond the threshold.
+//
+//	go test -run '^$' -bench=. -benchtime=1x -json . > /tmp/bench.json
+//	go run ./cmd/benchdiff -baseline BENCH_baseline.json -current /tmp/bench.json
+//
+// The exit status is 1 on regression (unless -advisory), 2 on usage or
+// parse errors. Benchmarks present only in one input are reported but never
+// fail the run: new benchmarks are expected to appear, and renamed ones
+// should update the baseline.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "BENCH_baseline.json", "committed baseline test2json file")
+		currentPath  = flag.String("current", "-", "test2json stream to check ('-' = stdin)")
+		threshold    = flag.Float64("threshold", 0.25, "fail when ns/op grows more than this fraction over baseline")
+		advisory     = flag.Bool("advisory", false, "report regressions but always exit 0 (for noisy shared runners)")
+	)
+	flag.Parse()
+
+	baseline, err := parseFile(*baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	current, err := parseFile(*currentPath)
+	if err != nil {
+		fatal(err)
+	}
+	if len(baseline) == 0 {
+		fatal(fmt.Errorf("benchdiff: no benchmark results in baseline %s", *baselinePath))
+	}
+	if len(current) == 0 {
+		fatal(fmt.Errorf("benchdiff: no benchmark results in current input"))
+	}
+
+	names := make([]string, 0, len(baseline))
+	for name := range baseline {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	regressed := 0
+	for _, name := range names {
+		base := baseline[name]
+		cur, ok := current[name]
+		if !ok {
+			fmt.Printf("MISSING  %-60s baseline %.0f ns/op, absent from current run\n", name, base)
+			continue
+		}
+		delta := cur/base - 1
+		status := "ok      "
+		if delta > *threshold {
+			status = "REGRESS "
+			regressed++
+		}
+		fmt.Printf("%s %-60s %14.0f -> %14.0f ns/op  (%+.1f%%)\n", status, name, base, cur, 100*delta)
+	}
+	extra := make([]string, 0)
+	for name := range current {
+		if _, ok := baseline[name]; !ok {
+			extra = append(extra, name)
+		}
+	}
+	sort.Strings(extra)
+	for _, name := range extra {
+		fmt.Printf("NEW      %-60s %14.0f ns/op (not in baseline)\n", name, current[name])
+	}
+
+	if regressed > 0 {
+		fmt.Printf("benchdiff: %d benchmark(s) regressed beyond %.0f%%\n", regressed, 100**threshold)
+		if !*advisory {
+			os.Exit(1)
+		}
+		fmt.Println("benchdiff: advisory mode, not failing")
+	}
+}
+
+func parseFile(path string) (map[string]float64, error) {
+	var r io.Reader
+	if path == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	return parseBench(r)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(2)
+}

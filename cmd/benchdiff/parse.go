@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// testEvent is the subset of the go test -json (test2json) event stream the
+// parser needs.
+type testEvent struct {
+	Action string `json:"Action"`
+	Output string `json:"Output"`
+}
+
+// benchResultRe matches one reassembled benchmark result line, e.g.
+//
+//	BenchmarkTable2Legalizers/fft_2/Ours-8   1   4577919 ns/op   0.31 illegal-%
+//
+// capturing the name (with the optional -GOMAXPROCS suffix still attached)
+// and the ns/op value.
+var benchResultRe = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.e+]+) ns/op`)
+
+// gomaxprocsSuffixRe strips the trailing -N the benchmark runner appends when
+// GOMAXPROCS > 1, so baselines recorded on different machines compare by
+// benchmark identity.
+var gomaxprocsSuffixRe = regexp.MustCompile(`-\d+$`)
+
+// parseBench reads a test2json stream and returns ns/op keyed by normalized
+// benchmark name. test2json splits a result line into separate events (the
+// name fragment has no trailing newline), so output fragments are
+// concatenated first and then split back into real lines.
+func parseBench(r io.Reader) (map[string]float64, error) {
+	var sb strings.Builder
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var ev testEvent
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			return nil, fmt.Errorf("benchdiff: malformed test2json line %q: %w", truncate(line, 80), err)
+		}
+		if ev.Action == "output" {
+			sb.WriteString(ev.Output)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := map[string]float64{}
+	for _, line := range strings.Split(sb.String(), "\n") {
+		m := benchResultRe.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		out[gomaxprocsSuffixRe.ReplaceAllString(m[1], "")] = ns
+	}
+	return out, nil
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// stream mimics test2json's habit of splitting one benchmark result line into
+// a name fragment (no newline) and a measurement fragment.
+const stream = `{"Action":"run","Test":"BenchmarkFoo"}
+{"Action":"output","Test":"BenchmarkFoo","Output":"BenchmarkFoo\n"}
+{"Action":"output","Test":"BenchmarkFoo","Output":"BenchmarkFoo-8         \t"}
+{"Action":"output","Test":"BenchmarkFoo","Output":"       1\t 161138784 ns/op\t         1.332 illegal-%\n"}
+{"Action":"output","Test":"BenchmarkBar/case_1","Output":"BenchmarkBar/case_1    \t       2\t   4577919 ns/op\n"}
+{"Action":"output","Output":"PASS\n"}
+{"Action":"pass"}
+`
+
+func TestParseBench(t *testing.T) {
+	got, err := parseBench(strings.NewReader(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"BenchmarkFoo":        161138784,
+		"BenchmarkBar/case_1": 4577919,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d results (%v), want %d", len(got), got, len(want))
+	}
+	for name, ns := range want {
+		if got[name] != ns {
+			t.Errorf("%s = %g, want %g", name, got[name], ns)
+		}
+	}
+}
+
+func TestParseBenchStripsGomaxprocsSuffix(t *testing.T) {
+	got, err := parseBench(strings.NewReader(
+		`{"Action":"output","Output":"BenchmarkX/sub-16 \t 1\t 1000 ns/op\n"}` + "\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["BenchmarkX/sub"] != 1000 {
+		t.Fatalf("suffix not stripped: %v", got)
+	}
+}
+
+func TestParseBenchRejectsGarbage(t *testing.T) {
+	if _, err := parseBench(strings.NewReader("not json\n")); err == nil {
+		t.Fatal("expected an error for a non-JSON stream")
+	}
+}

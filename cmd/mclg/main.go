@@ -48,6 +48,7 @@ func main() {
 		verbose    = flag.Bool("v", false, "print per-stage details")
 		timeout    = flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
 		resilient  = flag.Bool("resilient", false, "with -method ours: run the fallback cascade (mmsim -> retuned -> pgs -> greedy)")
+		workers    = flag.Int("workers", 0, "worker goroutines for the hot stages: 0 = all cores, 1 = serial (any value gives identical output)")
 	)
 	flag.Parse()
 
@@ -98,7 +99,7 @@ func main() {
 	switch *method {
 	case "ours":
 		opts := core.Options{Lambda: *lambda, Beta: *beta, Theta: *theta, Eps: *eps,
-			AutoTheta: *autoTheta, BoundRight: *boundRight}
+			AutoTheta: *autoTheta, BoundRight: *boundRight, Workers: *workers}
 		var stats *core.Stats
 		if *resilient {
 			rs, err := core.NewResilient(core.ResilientOptions{Base: opts}).LegalizeContext(ctx, d)

@@ -3,11 +3,13 @@ package mclg
 // End-to-end tests that build and run the actual command-line binaries.
 
 import (
+	"bytes"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 // buildCmd compiles one of the cmd/ binaries into a temp dir and returns
@@ -50,6 +52,102 @@ func TestE2EMclgLegalizesBenchmark(t *testing.T) {
 		if !strings.Contains(out, "legality: legal") {
 			t.Errorf("method %s: output missing legality line:\n%s", m, out)
 		}
+	}
+}
+
+func TestE2EMclgResilientCascade(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	bin := buildCmd(t, "mclg")
+	out := run(t, bin, "-bench", "fft_2", "-scale", "0.004", "-resilient", "-v")
+	if !strings.Contains(out, `resilient: succeeded on rung "mmsim"`) {
+		t.Errorf("cascade did not succeed on the first rung:\n%s", out)
+	}
+	if !strings.Contains(out, "legality: legal") {
+		t.Errorf("output missing legality line:\n%s", out)
+	}
+}
+
+// TestE2EMclgWorkersMatchSerial checks the CLI end of the determinism
+// contract: -workers 4 must print exactly the same quality metrics as
+// -workers 1 (the per-package tests pin the stronger bit-identical claim).
+func TestE2EMclgWorkersMatchSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	bin := buildCmd(t, "mclg")
+	metricLines := func(out string) string {
+		var keep []string
+		for _, line := range strings.Split(out, "\n") {
+			if strings.HasPrefix(line, "total displacement:") ||
+				strings.HasPrefix(line, "HPWL:") ||
+				strings.HasPrefix(line, "legality:") {
+				keep = append(keep, line)
+			}
+		}
+		return strings.Join(keep, "\n")
+	}
+	serial := metricLines(run(t, bin, "-bench", "des_perf_1", "-scale", "0.004", "-workers", "1"))
+	if !strings.Contains(serial, "legality: legal") {
+		t.Fatalf("serial run not legal:\n%s", serial)
+	}
+	parallel := metricLines(run(t, bin, "-bench", "des_perf_1", "-scale", "0.004", "-workers", "4"))
+	if parallel != serial {
+		t.Errorf("-workers 4 metrics diverged from -workers 1:\nserial:\n%s\nparallel:\n%s", serial, parallel)
+	}
+}
+
+// slowArgs is a CLI invocation that legalizes for ~10s when left alone —
+// long enough that a timeout or signal reliably lands mid-solve.
+var slowArgs = []string{"-bench", "superblue19", "-scale", "0.02", "-eps", "1e-9"}
+
+func TestE2EMclgTimeoutAborts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	bin := buildCmd(t, "mclg")
+	cmd := exec.Command(bin, append([]string{"-timeout", "300ms"}, slowArgs...)...)
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("expected the run to abort, got success:\n%s", out)
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 2 {
+		t.Fatalf("expected exit code 2, got %v:\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "canceled") {
+		t.Errorf("abort message missing 'canceled':\n%s", out)
+	}
+}
+
+func TestE2EMclgSigintAbortsCleanly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	bin := buildCmd(t, "mclg")
+	cmd := exec.Command(bin, slowArgs...)
+	var buf bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &buf, &buf
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(1 * time.Second)
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	err := cmd.Wait()
+	out := buf.String()
+	if err == nil {
+		t.Fatalf("expected SIGINT to abort the run, got success:\n%s", out)
+	}
+	// A clean abort exits through the error path (code 2), not signal death.
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 2 {
+		t.Fatalf("expected exit code 2 after SIGINT, got %v:\n%s", err, out)
+	}
+	if !strings.Contains(out, "canceled") {
+		t.Errorf("abort message missing 'canceled':\n%s", out)
 	}
 }
 

@@ -70,6 +70,13 @@ type Options struct {
 
 	// OnIter forwards MMSIM per-iteration progress.
 	OnIter func(k int, dz float64)
+
+	// Workers shards the hot stages (row assignment, the MMSIM per-iteration
+	// kernels and block solves, and the Tetris allocation's per-row scans)
+	// across goroutines: 0 means GOMAXPROCS, 1 means serial. Any worker
+	// count produces bit-identical placements — see internal/par and
+	// DESIGN.md's "Parallel decomposition & determinism".
+	Workers int
 }
 
 // DefaultOptions returns the paper's parameters.
@@ -122,6 +129,9 @@ func (o Options) Validate() error {
 	}
 	if o.OmegaR < 0 {
 		return mclgerr.Invalidf("options: OmegaR = %g must be non-negative", o.OmegaR)
+	}
+	if o.Workers < 0 {
+		return mclgerr.Invalidf("options: Workers = %d must be non-negative", o.Workers)
 	}
 	for i, v := range o.S0 {
 		if math.IsNaN(v) || math.IsInf(v, 0) {
@@ -205,7 +215,7 @@ func (l *Legalizer) LegalizeContext(ctx context.Context, d *design.Design) (*Sta
 	stats := &Stats{}
 	t0 := time.Now()
 
-	if err := AssignRows(d); err != nil {
+	if err := AssignRowsP(d, l.Opts.Workers); err != nil {
 		return nil, mclgerr.Stage("assign-rows", err)
 	}
 	if l.Opts.BoundRight {
@@ -236,7 +246,7 @@ func (l *Legalizer) LegalizeContext(ctx context.Context, d *design.Design) (*Sta
 
 	if !l.Opts.SkipTetris {
 		t2 := time.Now()
-		tres, err := tetris.AllocateContext(ctx, d)
+		tres, err := tetris.AllocateContextP(ctx, d, l.Opts.Workers)
 		if err != nil {
 			return nil, mclgerr.Stage("tetris", err)
 		}
@@ -335,6 +345,7 @@ func SolveMMSIMContext(ctx context.Context, p *Problem, opts Options) ([]float64
 		S0:          s0,
 		ResidualTol: resTol,
 		OnIter:      opts.OnIter,
+		Workers:     opts.Workers,
 	})
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: MMSIM: %w", err)

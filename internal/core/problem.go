@@ -22,6 +22,7 @@ import (
 
 	"mclg/internal/design"
 	"mclg/internal/mclgerr"
+	"mclg/internal/par"
 	"mclg/internal/sparse"
 )
 
@@ -87,19 +88,31 @@ func (e ErrNoRow) Unwrap() error { return mclgerr.ErrInfeasibleRow }
 // power-rail-matched row for even-row-span cells. The x coordinate is left
 // at the global position.
 func AssignRows(d *design.Design) error {
-	for _, c := range d.Cells {
-		if c.Fixed {
-			continue
+	return AssignRowsP(d, 0)
+}
+
+// AssignRowsP is AssignRows sharded across workers (0 = GOMAXPROCS, 1 =
+// serial). Every cell's assignment depends only on that cell and the fixed
+// row geometry, so the result is identical at any worker count; on failure
+// the reported error is the one a serial scan would surface first (the
+// lowest-chunk ErrNoRow), though cells after the failing one may already be
+// assigned — callers treat any error as fatal for the whole stage.
+func AssignRowsP(d *design.Design, workers int) error {
+	return par.ReduceErr(workers, len(d.Cells), par.GrainCells, func(lo, hi int) error {
+		for _, c := range d.Cells[lo:hi] {
+			if c.Fixed {
+				continue
+			}
+			row := d.NearestCorrectRow(c, c.GY)
+			if row < 0 {
+				return ErrNoRow{CellID: c.ID}
+			}
+			c.X = c.GX
+			c.Y = d.RowY(row)
+			c.Flipped = !c.EvenSpan() && d.Rows[row].Rail != c.BottomRail
 		}
-		row := d.NearestCorrectRow(c, c.GY)
-		if row < 0 {
-			return ErrNoRow{CellID: c.ID}
-		}
-		c.X = c.GX
-		c.Y = d.RowY(row)
-		c.Flipped = !c.EvenSpan() && d.Rows[row].Rail != c.BottomRail
-	}
-	return nil
+		return nil
+	})
 }
 
 // BuildProblem assembles the relaxed QP (13) for a design whose cells have
@@ -238,6 +251,27 @@ func (p *Problem) ApplyH(dst, src []float64) {
 	p.addLambdaLaplacian(dst, src, p.Lambda)
 }
 
+// ApplyHP is ApplyH sharded per cell block. H is block diagonal per cell
+// (single-row cells are 1x1 identity blocks), so each block's output slots
+// are disjoint and the per-slot arithmetic is unchanged — the result is
+// bit-identical to ApplyH at any worker count.
+func (p *Problem) ApplyHP(workers int, dst, src []float64) {
+	par.For(workers, len(src), par.GrainVec, func(lo, hi int) {
+		copy(dst[lo:hi], src[lo:hi])
+	})
+	lambda := p.Lambda
+	par.For(workers, len(p.CellVars), par.GrainCells, func(lo, hi int) {
+		for _, vars := range p.CellVars[lo:hi] {
+			for k := 0; k+1 < len(vars); k++ {
+				a, b := vars[k], vars[k+1]
+				diff := src[b] - src[a]
+				dst[a] -= lambda * diff
+				dst[b] += lambda * diff
+			}
+		}
+	})
+}
+
 // addLambdaLaplacian computes dst += coef * (EᵀE) src using the per-cell
 // path-Laplacian structure.
 func (p *Problem) addLambdaLaplacian(dst, src []float64, coef float64) {
@@ -256,32 +290,38 @@ func (p *Problem) addLambdaLaplacian(dst, src []float64, coef float64) {
 // c1 = 1/β*+1, c2·λ' = λ/β* gives the (1/β*)H + I system of the MMSIM).
 // lamCoef is the coefficient multiplying L. dst and rhs may alias.
 func (p *Problem) SolveHShifted(c1, lamCoef float64, dst, rhs []float64) {
-	if &dst[0] != &rhs[0] {
-		copy(dst, rhs)
-	}
-	for cellID, vars := range p.CellVars {
-		d := len(vars)
-		switch {
-		case d == 0:
-			continue
-		case d == 1:
-			dst[vars[0]] = rhs[vars[0]] / c1
-		case d == 2:
-			// Block [[c1+λ', −λ'], [−λ', c1+λ']] with λ' = lamCoef: the
-			// closed form the paper derives via Sherman–Morrison.
-			a := c1 + lamCoef
-			det := a*a - lamCoef*lamCoef
-			r0, r1 := rhs[vars[0]], rhs[vars[1]]
-			dst[vars[0]] = (a*r0 + lamCoef*r1) / det
-			dst[vars[1]] = (lamCoef*r0 + a*r1) / det
-		default:
-			// General k-row cells: Thomas algorithm on the small
-			// tridiagonal block c1·I + λ'·L where L = path Laplacian
-			// (diag 1,2,...,2,1; off-diagonals −1).
-			p.solvePathBlock(c1, lamCoef, vars, dst, rhs)
+	p.SolveHShiftedP(1, c1, lamCoef, dst, rhs)
+}
+
+// SolveHShiftedP is SolveHShifted sharded per cell block: every variable
+// belongs to exactly one cell block and each block solve reads only its own
+// rhs entries and writes only its own dst entries, so any worker count
+// yields bit-identical results. dst and rhs may alias.
+func (p *Problem) SolveHShiftedP(workers int, c1, lamCoef float64, dst, rhs []float64) {
+	par.For(workers, len(p.CellVars), par.GrainCells, func(lo, hi int) {
+		for _, vars := range p.CellVars[lo:hi] {
+			d := len(vars)
+			switch {
+			case d == 0:
+				continue
+			case d == 1:
+				dst[vars[0]] = rhs[vars[0]] / c1
+			case d == 2:
+				// Block [[c1+λ', −λ'], [−λ', c1+λ']] with λ' = lamCoef: the
+				// closed form the paper derives via Sherman–Morrison.
+				a := c1 + lamCoef
+				det := a*a - lamCoef*lamCoef
+				r0, r1 := rhs[vars[0]], rhs[vars[1]]
+				dst[vars[0]] = (a*r0 + lamCoef*r1) / det
+				dst[vars[1]] = (lamCoef*r0 + a*r1) / det
+			default:
+				// General k-row cells: Thomas algorithm on the small
+				// tridiagonal block c1·I + λ'·L where L = path Laplacian
+				// (diag 1,2,...,2,1; off-diagonals −1).
+				p.solvePathBlock(c1, lamCoef, vars, dst, rhs)
+			}
 		}
-		_ = cellID
-	}
+	})
 }
 
 // solvePathBlock runs the Thomas algorithm on one cell block. Stack-local
@@ -340,50 +380,55 @@ func (p *Problem) HDiag() []float64 {
 // chain off-diagonals — tridiagonal per cell, solved by the Thomas
 // algorithm. dst and rhs may alias.
 func (p *Problem) SolveHOmegaDiag(beta float64, dst, rhs []float64) {
+	p.SolveHOmegaDiagP(1, beta, dst, rhs)
+}
+
+// SolveHOmegaDiagP is SolveHOmegaDiag sharded per cell block (same
+// disjointness argument as SolveHShiftedP). dst and rhs may alias.
+func (p *Problem) SolveHOmegaDiagP(workers int, beta float64, dst, rhs []float64) {
 	c1 := 1/beta + 1
 	lam := p.Lambda
 	off := lam / beta
-	if &dst[0] != &rhs[0] {
-		copy(dst, rhs)
-	}
-	const maxSpan = 16
-	var diagA, rhsA [maxSpan]float64
-	for _, vars := range p.CellVars {
-		d := len(vars)
-		switch {
-		case d == 0:
-			continue
-		case d == 1:
-			dst[vars[0]] = rhs[vars[0]] / c1
-		default:
-			diag := diagA[:d]
-			r := rhsA[:d]
-			if d > maxSpan {
-				diag = make([]float64, d)
-				r = make([]float64, d)
-			}
-			for k := 0; k < d; k++ {
-				deg := 2.0
-				if k == 0 || k == d-1 {
-					deg = 1
+	par.For(workers, len(p.CellVars), par.GrainCells, func(lo, hi int) {
+		const maxSpan = 16
+		var diagA, rhsA [maxSpan]float64
+		for _, vars := range p.CellVars[lo:hi] {
+			d := len(vars)
+			switch {
+			case d == 0:
+				continue
+			case d == 1:
+				dst[vars[0]] = rhs[vars[0]] / c1
+			default:
+				diag := diagA[:d]
+				r := rhsA[:d]
+				if d > maxSpan {
+					diag = make([]float64, d)
+					r = make([]float64, d)
 				}
-				diag[k] = c1 * (1 + lam*deg)
-				r[k] = rhs[vars[k]]
-			}
-			for k := 1; k < d; k++ {
-				m := -off / diag[k-1]
-				diag[k] -= m * -off
-				r[k] -= m * r[k-1]
-			}
-			r[d-1] /= diag[d-1]
-			for k := d - 2; k >= 0; k-- {
-				r[k] = (r[k] + off*r[k+1]) / diag[k]
-			}
-			for k := 0; k < d; k++ {
-				dst[vars[k]] = r[k]
+				for k := 0; k < d; k++ {
+					deg := 2.0
+					if k == 0 || k == d-1 {
+						deg = 1
+					}
+					diag[k] = c1 * (1 + lam*deg)
+					r[k] = rhs[vars[k]]
+				}
+				for k := 1; k < d; k++ {
+					m := -off / diag[k-1]
+					diag[k] -= m * -off
+					r[k] -= m * r[k-1]
+				}
+				r[d-1] /= diag[d-1]
+				for k := d - 2; k >= 0; k-- {
+					r[k] = (r[k] + off*r[k+1]) / diag[k]
+				}
+				for k := 0; k < d; k++ {
+					dst[vars[k]] = r[k]
+				}
 			}
 		}
-	}
+	})
 }
 
 // ApplyHInvSparse applies H⁻¹ to a sparse vector given as (idx, val) pairs

@@ -10,6 +10,7 @@ import (
 	"mclg/internal/baselines/chow"
 	"mclg/internal/design"
 	"mclg/internal/mclgerr"
+	"mclg/internal/par"
 	"mclg/internal/tetris"
 )
 
@@ -156,29 +157,91 @@ func (r *ResilientLegalizer) LegalizeContext(ctx context.Context, d *design.Desi
 		return rs, nil
 	}
 
-	// Rung 2: retuned MMSIM. Shrinking β* widens the Theorem-1 convergence
-	// region; AutoTheta re-clamps θ* under the Theorem-2 bound for the new
-	// β*; the cold start discards a warm start that may have seeded the
-	// divergence; the budget grows since smaller constants converge slower.
+	// Rungs 2–3: retuned MMSIM (shrinking β* widens the Theorem-1
+	// convergence region; AutoTheta re-clamps θ* under the Theorem-2 bound
+	// for the new β*; the cold start discards a warm start that may have
+	// seeded the divergence; the budget grows since smaller constants
+	// converge slower) followed by PGS on the dual LCP. With Workers > 1 the
+	// rungs race concurrently on independent clones; the committed rung is
+	// always the lowest-priority-index success, so the accepted placement,
+	// rung, and attempt trace match the sequential cascade exactly.
+	type fallbackRung struct {
+		rung Rung
+		run  func(ctx context.Context, w *design.Design) (*Stats, error)
+	}
+	var fallbacks []fallbackRung
 	for k := 1; k <= r.Opts.MaxRetunes; k++ {
 		opts := retune(r.Opts.Base, k)
-		if done, err := try(RungMMSIMRetuned, func(w *design.Design) (*Stats, error) {
-			return runMMSIMRung(ctx, w, opts)
-		}); err != nil {
-			return nil, err
-		} else if done {
-			return rs, nil
-		}
+		fallbacks = append(fallbacks, fallbackRung{RungMMSIMRetuned, func(c context.Context, w *design.Design) (*Stats, error) {
+			return runMMSIMRung(c, w, opts)
+		}})
+	}
+	if !r.Opts.DisablePGS {
+		fallbacks = append(fallbacks, fallbackRung{RungPGS, func(c context.Context, w *design.Design) (*Stats, error) {
+			return r.runPGSRung(c, w)
+		}})
 	}
 
-	// Rung 3: PGS on the dual LCP.
-	if !r.Opts.DisablePGS {
-		if done, err := try(RungPGS, func(w *design.Design) (*Stats, error) {
-			return r.runPGSRung(ctx, w)
-		}); err != nil {
-			return nil, err
-		} else if done {
+	if par.Resolve(r.Opts.Base.Workers) > 1 && len(fallbacks) > 1 {
+		type rungOut struct {
+			work    *design.Design
+			st      *Stats
+			elapsed time.Duration
+		}
+		tasks := make([]func(context.Context) (rungOut, error), len(fallbacks))
+		for i, fb := range fallbacks {
+			fb := fb
+			tasks[i] = func(tctx context.Context) (rungOut, error) {
+				t0 := time.Now()
+				work := d.Clone()
+				st, err := fb.run(tctx, work)
+				if err == nil {
+					if rep := design.CheckLegal(work); !rep.Legal() {
+						err = &mclgerr.StageError{
+							Stage:  string(fb.rung),
+							Err:    mclgerr.ErrUnplacedCells,
+							Detail: "rung reported success but the placement is illegal: " + rep.String(),
+						}
+					}
+				}
+				return rungOut{work, st, time.Since(t0)}, err
+			}
+		}
+		winner, results := par.Race(ctx, r.Opts.Base.Workers, tasks)
+		// The trace covers the same prefix a sequential cascade would have
+		// run: every rung up to and including the winner (all of them on
+		// total failure). Rungs canceled because a higher-priority rung won
+		// never appear, exactly as if the cascade had stopped there.
+		last := winner
+		if last < 0 {
+			last = len(fallbacks) - 1
+		}
+		for i := 0; i <= last; i++ {
+			rs.Attempts = append(rs.Attempts, Attempt{
+				Rung: fallbacks[i].rung, Err: results[i].Err, Elapsed: results[i].Value.elapsed,
+			})
+		}
+		if winner >= 0 {
+			commitPlacement(d, results[winner].Value.work)
+			if st := results[winner].Value.st; st != nil {
+				rs.Stats = *st
+			}
+			rs.Rung = fallbacks[winner].rung
 			return rs, nil
+		}
+		if err := mclgerr.FromContext(ctx); err != nil {
+			return nil, err
+		}
+	} else {
+		for _, fb := range fallbacks {
+			fb := fb
+			if done, err := try(fb.rung, func(w *design.Design) (*Stats, error) {
+				return fb.run(ctx, w)
+			}); err != nil {
+				return nil, err
+			} else if done {
+				return rs, nil
+			}
 		}
 	}
 

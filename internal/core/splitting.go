@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"mclg/internal/par"
 	"mclg/internal/sparse"
 )
 
@@ -26,7 +27,17 @@ type StructuredSplitting struct {
 	dScaled  *sparse.Tridiag // (1/θ*)D, reused by ApplyN
 	omega    []float64       // nil for Ω = I
 	scaledX  bool            // Ω_x = diag(H) instead of I
+	bT       *sparse.CSR     // Bᵀ, precomputed so ApplyN can shard by row
+	workers  int             // 0 = GOMAXPROCS, 1 = serial (see SetWorkers)
 }
+
+// SetWorkers shards the splitting's operator applications across the given
+// worker count (0 = GOMAXPROCS, 1 = serial). Every worker count produces
+// bit-identical results: the per-cell block solves and per-row products
+// write disjoint slots, and the tridiagonal solve shards only across the
+// independent per-placement-row blocks of D. MMSIM calls this through the
+// lcp.WorkerSettable interface.
+func (s *StructuredSplitting) SetWorkers(workers int) { s.workers = workers }
 
 // NewStructuredSplitting builds the splitting for an assembled problem with
 // Ω = I, exactly as in the paper's Algorithm 1. beta and theta are the β*
@@ -95,6 +106,8 @@ func newStructured(p *Problem, beta, theta float64, scaledOmega bool, omegaR flo
 		return nil, fmt.Errorf("core: factoring (1/θ*)D + Ω_r: %w", err)
 	}
 	s.mSolver = solver
+	s.bT = p.B.Transpose()
+	s.workers = 1
 	return s, nil
 }
 
@@ -112,16 +125,16 @@ func (s *StructuredSplitting) SolveMOmega(dst, rhs []float64) {
 	if s.scaledX {
 		// Ω_x = diag(H): (1/β*)H + diag(H) = (1/β*+1)diag(H) − (λ/β*)Adj,
 		// still tridiagonal per cell block.
-		s.p.SolveHOmegaDiag(s.beta, dst[:n], rhs[:n])
+		s.p.SolveHOmegaDiagP(s.workers, s.beta, dst[:n], rhs[:n])
 	} else {
 		// Ω_x = I: per-cell solve of (1/β*)(I + λL) + I = (1/β*+1)I + (λ/β*)L.
-		s.p.SolveHShifted(1/s.beta+1, s.p.Lambda/s.beta, dst[:n], rhs[:n])
+		s.p.SolveHShiftedP(s.workers, 1/s.beta+1, s.p.Lambda/s.beta, dst[:n], rhs[:n])
 	}
 	// Bottom block: ((1/θ*)D + Ω_r).
 	rhsR := dst[n : n+m]
 	copy(rhsR, rhs[n:n+m])
-	s.p.B.AddMulVec(rhsR, dst[:n], -1)
-	s.mSolver.Solve(rhsR, rhsR)
+	s.p.B.AddMulVecP(s.workers, rhsR, dst[:n], -1)
+	s.mSolver.SolveP(s.workers, rhsR, rhsR)
 }
 
 // ApplyN computes dst = N src:
@@ -130,13 +143,17 @@ func (s *StructuredSplitting) SolveMOmega(dst, rhs []float64) {
 //	dst_r = (1/θ*) D src_r
 func (s *StructuredSplitting) ApplyN(dst, src []float64) {
 	n, m := s.p.NumVars, s.p.NumCons
-	s.p.ApplyH(s.scratchX, src[:n])
+	s.p.ApplyHP(s.workers, s.scratchX, src[:n])
 	coef := 1/s.beta - 1
-	for i := 0; i < n; i++ {
-		dst[i] = coef * s.scratchX[i]
-	}
-	s.p.B.AddMulVecT(dst[:n], src[n:n+m], 1)
-	s.dScaled.MulVec(dst[n:n+m], src[n:n+m])
+	par.For(s.workers, n, par.GrainVec, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst[i] = coef * s.scratchX[i]
+		}
+	})
+	// Bᵀ src_r via the precomputed transpose: the row-sharded product keeps
+	// the scatter that AddMulVecT would do off the parallel path.
+	s.bT.AddMulVecP(s.workers, dst[:n], src[n:n+m], 1)
+	s.dScaled.MulVecP(s.workers, dst[n:n+m], src[n:n+m])
 }
 
 // Omega returns the positive diagonal Ω: nil for the paper's Ω = I, or the

@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"mclg/internal/mclgerr"
+	"mclg/internal/par"
 	"mclg/internal/sparse"
 )
 
@@ -45,6 +46,13 @@ type Options struct {
 	// iteration index and the current z-step norm; used by convergence
 	// studies and progress reporting.
 	OnIter func(k int, dz float64)
+
+	// Workers shards the per-iteration vector kernels (and, when the
+	// splitting supports it, the splitting's own solves) across goroutines:
+	// 0 means GOMAXPROCS, 1 means serial. Every worker count produces
+	// bit-identical iterates — the kernels use fixed chunking with disjoint
+	// writes and order-insensitive max reductions (see internal/par).
+	Workers int
 }
 
 func (o *Options) withDefaults() Options {
@@ -84,6 +92,13 @@ func MMSIM(p *Problem, sp Splitting, opts Options) (*Result, error) {
 // lands within a few milliseconds even on large instances.
 const cancelCheckEvery = 16
 
+// WorkerSettable is implemented by splittings whose operator applications
+// can shard across goroutines (the legalizer's StructuredSplitting). MMSIM
+// forwards its Workers option to such splittings before iterating.
+type WorkerSettable interface {
+	SetWorkers(workers int)
+}
+
 // MMSIMContext is MMSIM with cooperative cancellation: the hot loop polls
 // ctx every few iterations and aborts with an mclgerr.ErrCanceled-matching
 // error when the context is done.
@@ -92,6 +107,10 @@ func MMSIMContext(ctx context.Context, p *Problem, sp Splitting, opts Options) (
 	n := p.N()
 	if p.A.Rows != n || p.A.Cols != n {
 		return nil, fmt.Errorf("lcp: A is %dx%d but q has length %d", p.A.Rows, p.A.Cols, n)
+	}
+	workers := o.Workers
+	if ws, ok := sp.(WorkerSettable); ok {
+		ws.SetWorkers(workers)
 	}
 
 	s := make([]float64, n)
@@ -112,29 +131,34 @@ func MMSIMContext(ctx context.Context, p *Problem, sp Splitting, opts Options) (
 				return nil, fmt.Errorf("lcp: MMSIM aborted at iteration %d: %w", k, err)
 			}
 		}
-		sparse.Abs(absS, s)
+		sparse.AbsP(workers, absS, s)
 		// rhs = N s + Ω|s| − A|s| − γ q
 		sp.ApplyN(rhs, s)
 		if omega == nil {
-			sparse.Axpy(rhs, 1, absS)
+			sparse.AxpyP(workers, rhs, 1, absS)
 		} else {
-			for i := range rhs {
-				rhs[i] += omega[i] * absS[i]
-			}
+			par.For(workers, n, par.GrainVec, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					rhs[i] += omega[i] * absS[i]
+				}
+			})
 		}
-		p.A.AddMulVec(rhs, absS, -1)
-		sparse.Axpy(rhs, -o.Gamma, p.Q)
+		p.A.AddMulVecP(workers, rhs, absS, -1)
+		sparse.AxpyP(workers, rhs, -o.Gamma, p.Q)
 
 		sp.SolveMOmega(sNext, rhs)
 		s, sNext = sNext, s
 
-		for i := range z {
-			z[i] = (math.Abs(s[i]) + s[i]) / o.Gamma
-		}
+		gamma := o.Gamma
+		par.For(workers, n, par.GrainVec, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				z[i] = (math.Abs(s[i]) + s[i]) / gamma
+			}
+		})
 		if !finite(z) {
 			return nil, ErrDiverged
 		}
-		dz := sparse.DiffNormInf(z, zPrev)
+		dz := sparse.DiffNormInfP(workers, z, zPrev)
 		res.Iterations = k + 1
 		res.FinalStep = dz
 		if o.OnIter != nil {

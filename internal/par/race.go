@@ -1,0 +1,97 @@
+package par
+
+import (
+	"context"
+	"sync"
+)
+
+// RaceResult carries one task's outcome from Race.
+type RaceResult[T any] struct {
+	Value T
+	Err   error
+	// Ran reports whether the task actually executed; tasks canceled before
+	// starting (because a higher-priority task already won) have Ran false.
+	Ran bool
+}
+
+// Race runs tasks concurrently (bounded by workers, 0 = GOMAXPROCS) and
+// returns the index of the winning task: the LOWEST-indexed task that
+// returns a nil error. Priority, not completion time, selects the winner, so
+// the outcome is deterministic whenever each task is individually
+// deterministic — a slow high-priority success always beats a fast
+// low-priority one, exactly as if the tasks had run sequentially and the
+// sequence had stopped at the first success.
+//
+// Once a winner is known, the contexts of all lower-priority tasks are
+// canceled; tasks that never started are marked Ran == false. The full
+// result slice is returned for attempt tracing. If no task succeeds the
+// returned index is -1. A canceled parent ctx cancels everything and is
+// reported through each task's error.
+func Race[T any](ctx context.Context, workers int, tasks []func(ctx context.Context) (T, error)) (int, []RaceResult[T]) {
+	n := len(tasks)
+	results := make([]RaceResult[T], n)
+	if n == 0 {
+		return -1, results
+	}
+
+	ctxs := make([]context.Context, n)
+	cancels := make([]context.CancelFunc, n)
+	for i := range tasks {
+		ctxs[i], cancels[i] = context.WithCancel(ctx)
+	}
+	defer func() {
+		for _, c := range cancels {
+			c()
+		}
+	}()
+
+	done := make([]chan struct{}, n)
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+
+	w := Resolve(workers)
+	if w > n {
+		w = n
+	}
+	var nextIdx int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := nextIdx
+				nextIdx++
+				mu.Unlock()
+				if i >= n {
+					return
+				}
+				if ctxs[i].Err() == nil {
+					v, err := tasks[i](ctxs[i])
+					results[i] = RaceResult[T]{Value: v, Err: err, Ran: true}
+				} else {
+					results[i] = RaceResult[T]{Err: ctxs[i].Err()}
+				}
+				close(done[i])
+			}
+		}()
+	}
+
+	// Await results in priority order; first success cancels the rest.
+	winner := -1
+	for i := 0; i < n; i++ {
+		<-done[i]
+		if results[i].Err == nil && results[i].Ran {
+			winner = i
+			for j := i + 1; j < n; j++ {
+				cancels[j]()
+			}
+			break
+		}
+	}
+	wg.Wait()
+	return winner, results
+}

@@ -1,0 +1,125 @@
+package regress
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite testdata/golden.json from the current pipeline output")
+
+// cases are the pinned pipeline runs. Scales are small enough that the whole
+// suite stays in test-friendly time while still exercising multi-row cells,
+// both MMSIM phases, and the Tetris repair path.
+var cases = []struct {
+	Bench string  `json:"bench"`
+	Scale float64 `json:"scale"`
+}{
+	{"des_perf_1", 0.004},
+	{"fft_2", 0.004},
+	{"superblue19", 0.002},
+}
+
+// parallelWorkers are the worker counts that must reproduce the serial run
+// bit-for-bit.
+var parallelWorkers = []int{2, 8}
+
+func goldenPath(t *testing.T) string {
+	t.Helper()
+	return filepath.Join("testdata", "golden.json")
+}
+
+func loadGolden(t *testing.T) map[string]*Metrics {
+	t.Helper()
+	raw, err := os.ReadFile(goldenPath(t))
+	if err != nil {
+		t.Fatalf("reading goldens (run with -update to generate): %v", err)
+	}
+	out := map[string]*Metrics{}
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatalf("parsing goldens: %v", err)
+	}
+	return out
+}
+
+// TestGoldenMetrics pins the serial pipeline to the committed goldens and
+// requires every parallel worker count to reproduce them exactly, placement
+// hash included.
+func TestGoldenMetrics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline runs; skipped in -short mode")
+	}
+	got := map[string]*Metrics{}
+	for _, c := range cases {
+		m, err := Run(c.Bench, c.Scale, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Bench, err)
+		}
+		if !m.Legal {
+			t.Errorf("%s: pipeline produced an illegal placement", c.Bench)
+		}
+		got[c.Bench] = m
+	}
+
+	if *update {
+		raw, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath(t), append(raw, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", goldenPath(t))
+		return
+	}
+
+	golden := loadGolden(t)
+	for _, c := range cases {
+		want, ok := golden[c.Bench]
+		if !ok {
+			t.Errorf("%s: no golden entry (run with -update)", c.Bench)
+			continue
+		}
+		if !reflect.DeepEqual(got[c.Bench], want) {
+			t.Errorf("%s: metrics drifted from golden\n got: %+v\nwant: %+v", c.Bench, got[c.Bench], want)
+		}
+	}
+
+	for _, c := range cases {
+		for _, w := range parallelWorkers {
+			m, err := Run(c.Bench, c.Scale, w)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", c.Bench, w, err)
+			}
+			if !reflect.DeepEqual(m, got[c.Bench]) {
+				t.Errorf("%s: workers=%d diverged from serial\n got: %+v\nwant: %+v", c.Bench, w, m, got[c.Bench])
+			}
+		}
+	}
+}
+
+// TestPipelineIsDeterministic pins the randomness audit: the generator seeds
+// every rand.Rand from the benchmark name and the pipeline itself uses no
+// unseeded randomness, so two fresh runs must produce identical placements.
+func TestPipelineIsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline runs; skipped in -short mode")
+	}
+	a, err := Run("fft_2", 0.004, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run("fft_2", 0.004, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("two identical runs diverged:\n first: %+v\nsecond: %+v", a, b)
+	}
+}

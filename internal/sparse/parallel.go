@@ -1,0 +1,169 @@
+package sparse
+
+import (
+	"math"
+
+	"mclg/internal/par"
+)
+
+// Parallel kernel variants. Every *P function computes bit-identical results
+// to its serial counterpart at any worker count: elementwise kernels and
+// per-row SpMV write disjoint output slots with unchanged per-slot
+// arithmetic, and the norm reductions combine fixed-grain chunk partials
+// with max, which is order-insensitive. workers follows the package-wide
+// knob convention: 0 = GOMAXPROCS, 1 = serial.
+
+// AbsP is Abs sharded over fixed chunks.
+func AbsP(workers int, dst, x []float64) {
+	if len(dst) != len(x) {
+		panic("sparse: Abs length mismatch")
+	}
+	par.For(workers, len(x), par.GrainVec, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst[i] = math.Abs(x[i])
+		}
+	})
+}
+
+// AxpyP is Axpy sharded over fixed chunks.
+func AxpyP(workers int, dst []float64, alpha float64, x []float64) {
+	if len(dst) != len(x) {
+		panic("sparse: Axpy length mismatch")
+	}
+	par.For(workers, len(dst), par.GrainVec, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst[i] += alpha * x[i]
+		}
+	})
+}
+
+// DiffNormInfP is DiffNormInf as an ordered max-reduction over fixed chunks.
+func DiffNormInfP(workers int, a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("sparse: DiffNormInf length mismatch")
+	}
+	return par.ReduceMax(workers, len(a), par.GrainVec, func(lo, hi int) float64 {
+		m := 0.0
+		for i := lo; i < hi; i++ {
+			if d := math.Abs(a[i] - b[i]); d > m {
+				m = d
+			}
+		}
+		return m
+	})
+}
+
+// MulVecP is MulVec sharded by row: each output row is one dot product
+// computed in the same entry order as the serial kernel.
+func (m *CSR) MulVecP(workers int, dst, x []float64) {
+	if len(dst) != m.Rows || len(x) != m.Cols {
+		panic("sparse: MulVec dimension mismatch")
+	}
+	par.For(workers, m.Rows, par.GrainRows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			s := 0.0
+			for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+				s += m.Val[k] * x[m.ColIdx[k]]
+			}
+			dst[i] = s
+		}
+	})
+}
+
+// AddMulVecP is AddMulVec sharded by row.
+func (m *CSR) AddMulVecP(workers int, dst, x []float64, alpha float64) {
+	if len(dst) != m.Rows || len(x) != m.Cols {
+		panic("sparse: AddMulVec dimension mismatch")
+	}
+	par.For(workers, m.Rows, par.GrainRows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			s := 0.0
+			for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+				s += m.Val[k] * x[m.ColIdx[k]]
+			}
+			dst[i] += alpha * s
+		}
+	})
+}
+
+// MulVecP is Tridiag.MulVec sharded by row. Each output row reads its three
+// neighboring inputs and writes only its own slot, so any worker count is
+// bit-identical to the serial product.
+func (t *Tridiag) MulVecP(workers int, dst, x []float64) {
+	n := t.N()
+	if len(dst) != n || len(x) != n {
+		panic("sparse: Tridiag.MulVec dimension mismatch")
+	}
+	par.For(workers, n, par.GrainVec, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			s := t.Diag[i] * x[i]
+			if i > 0 {
+				s += t.Sub[i] * x[i-1]
+			}
+			if i < n-1 {
+				s += t.Sup[i] * x[i+1]
+			}
+			dst[i] = s
+		}
+	})
+}
+
+// Segments returns the boundaries of the independent diagonal blocks of the
+// factored matrix: positions where both the subdiagonal multiplier and the
+// superdiagonal entry vanish, so neither the forward sweep nor the back
+// substitution couples across the boundary. The legalizer's Schur tridiagonal
+// D has one such block per placement row (consecutive constraints in
+// different rows share no variables), which is what makes the solve
+// row-shardable. The returned slice holds block start indices plus the
+// terminating n.
+func (s *TridiagSolver) Segments() []int {
+	if s.segments == nil {
+		segs := []int{0}
+		for i := 1; i < s.n; i++ {
+			if s.low[i] == 0 && s.sup[i-1] == 0 {
+				segs = append(segs, i)
+			}
+		}
+		s.segments = append(segs, s.n)
+	}
+	return s.segments
+}
+
+// SolveP solves t*dst = rhs like Solve, but shards the independent diagonal
+// blocks reported by Segments across workers. Within a block the Thomas
+// sweeps are unchanged, and across a zero boundary the serial sweeps are
+// no-ops (the eliminated term is 0·x), so the result is identical to Solve
+// for any worker count (up to the sign of exact zeros). dst and rhs may
+// alias.
+func (s *TridiagSolver) SolveP(workers int, dst, rhs []float64) {
+	if len(dst) != s.n || len(rhs) != s.n {
+		panic("sparse: TridiagSolver.Solve dimension mismatch")
+	}
+	if s.n == 0 {
+		return
+	}
+	segs := s.Segments()
+	nBlocks := len(segs) - 1
+	if par.Resolve(workers) <= 1 || nBlocks <= 1 {
+		s.Solve(dst, rhs)
+		return
+	}
+	par.For(workers, nBlocks, 8, func(lo, hi int) {
+		for b := lo; b < hi; b++ {
+			s.solveSegment(segs[b], segs[b+1], dst, rhs)
+		}
+	})
+}
+
+// solveSegment runs the Thomas sweeps on rows [lo, hi), which must form an
+// independent block (low[lo] == 0 or lo == 0, sup[hi-1] == 0 or hi == n).
+func (s *TridiagSolver) solveSegment(lo, hi int, dst, rhs []float64) {
+	dst[lo] = rhs[lo]
+	for i := lo + 1; i < hi; i++ {
+		dst[i] = rhs[i] - s.low[i]*dst[i-1]
+	}
+	dst[hi-1] /= s.diag[hi-1]
+	for i := hi - 2; i >= lo; i-- {
+		dst[i] = (dst[i] - s.sup[i]*dst[i+1]) / s.diag[i]
+	}
+}

@@ -1,0 +1,181 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// workerCounts are the parallelism levels every determinism test sweeps.
+var workerCounts = []int{1, 2, 8}
+
+func randVec(rng *rand.Rand, n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(8)-4))
+	}
+	return v
+}
+
+func sameBits(t *testing.T, name string, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d vs %d", name, len(got), len(want))
+	}
+	for i := range got {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("%s: index %d: %g (%x) vs %g (%x)", name, i,
+				got[i], math.Float64bits(got[i]), want[i], math.Float64bits(want[i]))
+		}
+	}
+}
+
+func TestAbsPMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	x := randVec(rng, 9001)
+	want := make([]float64, len(x))
+	Abs(want, x)
+	for _, w := range workerCounts {
+		got := make([]float64, len(x))
+		AbsP(w, got, x)
+		sameBits(t, "AbsP", got, want)
+	}
+}
+
+func TestAxpyPMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	x := randVec(rng, 9001)
+	base := randVec(rng, 9001)
+	want := append([]float64(nil), base...)
+	Axpy(want, 0.37, x)
+	for _, w := range workerCounts {
+		got := append([]float64(nil), base...)
+		AxpyP(w, got, 0.37, x)
+		sameBits(t, "AxpyP", got, want)
+	}
+}
+
+func TestDiffNormInfPMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	a := randVec(rng, 12345)
+	b := randVec(rng, 12345)
+	want := DiffNormInf(a, b)
+	for _, w := range workerCounts {
+		if got := DiffNormInfP(w, a, b); got != want {
+			t.Fatalf("workers=%d: %g vs %g", w, got, want)
+		}
+	}
+}
+
+func TestMulVecPMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	m := randomCSR(rng, 700, 500, 0.02)
+	x := randVec(rng, 500)
+	want := make([]float64, 700)
+	m.MulVec(want, x)
+	for _, w := range workerCounts {
+		got := make([]float64, 700)
+		m.MulVecP(w, got, x)
+		sameBits(t, "MulVecP", got, want)
+	}
+}
+
+func TestAddMulVecPMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	m := randomCSR(rng, 700, 500, 0.02)
+	x := randVec(rng, 500)
+	base := randVec(rng, 700)
+	want := append([]float64(nil), base...)
+	m.AddMulVec(want, x, -1.5)
+	for _, w := range workerCounts {
+		got := append([]float64(nil), base...)
+		m.AddMulVecP(w, got, x, -1.5)
+		sameBits(t, "AddMulVecP", got, want)
+	}
+}
+
+// segmentedTridiag builds a block tridiagonal matrix out of nBlocks
+// independent diagonally dominant blocks — the shape of the legalizer's
+// Schur matrix D, whose blocks are the per-placement-row constraint chains.
+func segmentedTridiag(rng *rand.Rand, nBlocks, blockLen int) *Tridiag {
+	n := nBlocks * blockLen
+	tr := NewTridiag(n)
+	for i := 0; i < n; i++ {
+		tr.Diag[i] = 4 + rng.Float64()
+		if i%blockLen != 0 && i > 0 {
+			v := rng.NormFloat64()
+			tr.Sub[i] = v
+			tr.Sup[i-1] = v
+		}
+	}
+	return tr
+}
+
+func TestTridiagSegments(t *testing.T) {
+	rng := rand.New(rand.NewSource(26))
+	tr := segmentedTridiag(rng, 7, 13)
+	s, err := tr.Factor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs := s.Segments()
+	if len(segs) != 8 {
+		t.Fatalf("got %d boundaries (%v), want 8", len(segs), segs)
+	}
+	for b := 0; b < 7; b++ {
+		if segs[b] != b*13 {
+			t.Fatalf("segment %d starts at %d, want %d", b, segs[b], b*13)
+		}
+	}
+	if segs[7] != 7*13 {
+		t.Fatalf("terminator %d, want %d", segs[7], 7*13)
+	}
+}
+
+func TestTridiagSolvePMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(27))
+	for _, shape := range []struct{ blocks, blockLen int }{
+		{1, 50}, {40, 25}, {100, 1}, {3, 400},
+	} {
+		tr := segmentedTridiag(rng, shape.blocks, shape.blockLen)
+		s, err := tr.Factor()
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := shape.blocks * shape.blockLen
+		rhs := randVec(rng, n)
+		want := make([]float64, n)
+		s.Solve(want, rhs)
+		for _, w := range workerCounts {
+			got := make([]float64, n)
+			s.SolveP(w, got, rhs)
+			sameBits(t, "SolveP", got, want)
+		}
+		// Aliased dst/rhs must work too.
+		for _, w := range workerCounts {
+			got := append([]float64(nil), rhs...)
+			s.SolveP(w, got, got)
+			sameBits(t, "SolveP aliased", got, want)
+		}
+	}
+}
+
+func TestTridiagSolvePIsCorrect(t *testing.T) {
+	rng := rand.New(rand.NewSource(28))
+	tr := segmentedTridiag(rng, 12, 31)
+	s, err := tr.Factor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 12 * 31
+	rhs := randVec(rng, n)
+	x := make([]float64, n)
+	s.SolveP(8, x, rhs)
+	check := make([]float64, n)
+	tr.MulVec(check, x)
+	for i := range check {
+		if math.Abs(check[i]-rhs[i]) > 1e-8*(1+math.Abs(rhs[i])) {
+			t.Fatalf("residual too large at %d: %g vs %g", i, check[i], rhs[i])
+		}
+	}
+}

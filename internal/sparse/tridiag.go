@@ -72,6 +72,10 @@ type TridiagSolver struct {
 	low  []float64 // multipliers l_i = a_i / d_{i-1}
 	diag []float64 // pivots after elimination
 	sup  []float64 // unchanged superdiagonal
+	// segments holds the independent-block boundaries (see Segments),
+	// computed eagerly by Factor so concurrent SolveP calls never mutate
+	// solver state.
+	segments []int
 }
 
 // Factor computes the LU factorization of t. It returns an error if a pivot
@@ -100,6 +104,7 @@ func (t *Tridiag) Factor() (*TridiagSolver, error) {
 	if s.diag[n-1] == 0 {
 		return nil, fmt.Errorf("sparse: zero pivot at row %d during tridiagonal factorization", n-1)
 	}
+	s.Segments()
 	return s, nil
 }
 

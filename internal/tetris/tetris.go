@@ -16,6 +16,7 @@ import (
 
 	"mclg/internal/design"
 	"mclg/internal/mclgerr"
+	"mclg/internal/par"
 )
 
 // Result reports what the allocation did.
@@ -50,6 +51,24 @@ const cancelCheckEvery = 256
 // placement and repair loops poll ctx periodically and abort with an
 // mclgerr.ErrCanceled-matching error when the context is done.
 func AllocateContext(ctx context.Context, d *design.Design) (*Result, error) {
+	return AllocateContextP(ctx, d, 1)
+}
+
+// cand is one movable cell queued for the left-to-right legality scan.
+type cand struct {
+	c   *design.Cell
+	x   float64 // snapped x
+	row int
+}
+
+// AllocateContextP is AllocateContext with the embarrassingly parallel
+// per-cell stages — row validation, the illegal-cell count, snapping —
+// sharded across workers (0 = GOMAXPROCS, 1 = serial). The occupancy scan,
+// shove, and repair passes stay serial: they thread one mutable grid through
+// every step. All worker counts produce the identical placement; the
+// parallel stages write disjoint per-cell or per-row state and reduce in
+// chunk order (see internal/par).
+func AllocateContextP(ctx context.Context, d *design.Design, workers int) (*Result, error) {
 	res := &Result{}
 	occ := design.NewOccupancy(d)
 
@@ -63,26 +82,24 @@ func AllocateContext(ctx context.Context, d *design.Design) (*Result, error) {
 		blockFixed(occ, d, c)
 	}
 
-	type cand struct {
-		c   *design.Cell
-		x   float64 // snapped x
-		row int
-	}
-	var cands []cand
-	for _, c := range d.Cells {
-		if c.Fixed {
-			continue
+	movable := movableCells(d)
+	if err := par.ReduceErr(workers, len(movable), par.GrainCells, func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			c := movable[i]
+			row := d.RowAt(c.Y + d.RowHeight/2)
+			if row < 0 || row+c.RowSpan > len(d.Rows) ||
+				math.Abs(c.Y-d.RowY(row)) > 1e-6*d.RowHeight {
+				return mclgerr.Invalidf("tetris: cell %d not on a valid row (y=%g)", c.ID, c.Y)
+			}
 		}
-		row := d.RowAt(c.Y + d.RowHeight/2)
-		if row < 0 || row+c.RowSpan > len(d.Rows) ||
-			math.Abs(c.Y-d.RowY(row)) > 1e-6*d.RowHeight {
-			return nil, mclgerr.Invalidf("tetris: cell %d not on a valid row (y=%g)", c.ID, c.Y)
-		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 
 	// Count the cells the MMSIM left illegal (Table 1's "#I. Cell"):
 	// overlapping another cell or beyond the right boundary.
-	res.Illegal = countIllegal(d)
+	res.Illegal = countIllegalP(d, workers)
 
 	// Shove pass: enforce the right boundary and within-row ordering by
 	// pushing cells left, right-to-left per row, before snapping. This
@@ -95,17 +112,22 @@ func AllocateContext(ctx context.Context, d *design.Design) (*Result, error) {
 	// restart from here rather than from post-repair positions.
 	original := savePositions(d)
 
-	for _, c := range d.Cells {
-		if c.Fixed {
-			continue
+	cands := make([]cand, len(movable))
+	par.For(workers, len(movable), par.GrainCells, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			c := movable[i]
+			cands[i] = cand{c, snapClamp(d, c, c.X), d.RowAt(c.Y + d.RowHeight/2)}
 		}
-		row := d.RowAt(c.Y + d.RowHeight/2)
-		x := snapClamp(d, c, c.X)
-		if dist := math.Abs(x-c.X) / d.SiteW; dist > res.MaxSnapDist {
-			res.MaxSnapDist = dist
+	})
+	res.MaxSnapDist = par.ReduceMax(workers, len(cands), par.GrainCells, func(lo, hi int) float64 {
+		m := 0.0
+		for i := lo; i < hi; i++ {
+			if dist := math.Abs(cands[i].x-cands[i].c.X) / d.SiteW; dist > m {
+				m = dist
+			}
 		}
-		cands = append(cands, cand{c, x, row})
-	}
+		return m
+	})
 	// Deterministic scan order: by snapped x, then row, then ID — the
 	// left-to-right check the paper describes.
 	sort.Slice(cands, func(i, j int) bool {
@@ -476,19 +498,25 @@ func moveCell(d *design.Design, c *design.Cell, x, y float64) {
 // the nearest placement site, then checks the cells one by one for their
 // legality"). Sub-half-site overlaps that snapping absorbs do not count.
 func countIllegal(d *design.Design) int {
+	return countIllegalP(d, 1)
+}
+
+// countIllegalP is countIllegal with the per-row overlap scans and the
+// per-cell boundary checks sharded across workers. Each row's scan collects
+// its violations into that row's own list and each boundary chunk writes
+// only its own cells' flags, so the stage is race-free; the lists merge
+// serially into one distinct-ID count, which makes the result independent of
+// scan completion order (a multi-row cell flagged by several rows still
+// counts once).
+func countIllegalP(d *design.Design, workers int) int {
 	const eps = 1e-9
 	snap := func(c *design.Cell) float64 {
 		return math.Round((c.X-d.Core.Lo.X)/d.SiteW)*d.SiteW + d.Core.Lo.X
 	}
-	bad := make(map[int]bool)
+	bad := make([]bool, len(d.Cells))
+	movable := movableCells(d)
 	rows := make([][]*design.Cell, len(d.Rows))
-	for _, c := range d.Cells {
-		if c.Fixed {
-			continue
-		}
-		if x := snap(c); x+c.W > d.Core.Hi.X+eps || x < d.Core.Lo.X-eps {
-			bad[c.ID] = true
-		}
+	for _, c := range movable {
 		r0 := d.RowAt(c.Y + d.RowHeight/2)
 		for k := 0; k < c.RowSpan; k++ {
 			if r := r0 + k; r >= 0 && r < len(rows) {
@@ -496,24 +524,46 @@ func countIllegal(d *design.Design) int {
 			}
 		}
 	}
-	for r := range rows {
-		cells := rows[r]
-		sort.Slice(cells, func(i, j int) bool {
-			xi, xj := snap(cells[i]), snap(cells[j])
-			if xi != xj {
-				return xi < xj
-			}
-			return cells[i].ID < cells[j].ID
-		})
-		for i := 1; i < len(cells); i++ {
-			if snap(cells[i]) < snap(cells[i-1])+cells[i-1].W-eps {
-				// Attribute the violation to the right cell of the pair,
-				// matching the left-to-right check the paper describes.
-				bad[cells[i].ID] = true
+	par.For(workers, len(movable), par.GrainCells, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			c := movable[i]
+			if x := snap(c); x+c.W > d.Core.Hi.X+eps || x < d.Core.Lo.X-eps {
+				bad[c.ID] = true
 			}
 		}
+	})
+	rowBad := make([][]int, len(rows))
+	par.For(workers, len(rows), par.GrainRows, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			cells := rows[r]
+			sort.Slice(cells, func(i, j int) bool {
+				xi, xj := snap(cells[i]), snap(cells[j])
+				if xi != xj {
+					return xi < xj
+				}
+				return cells[i].ID < cells[j].ID
+			})
+			for i := 1; i < len(cells); i++ {
+				if snap(cells[i]) < snap(cells[i-1])+cells[i-1].W-eps {
+					// Attribute the violation to the right cell of the pair,
+					// matching the left-to-right check the paper describes.
+					rowBad[r] = append(rowBad[r], cells[i].ID)
+				}
+			}
+		}
+	})
+	for _, ids := range rowBad {
+		for _, id := range ids {
+			bad[id] = true
+		}
 	}
-	return len(bad)
+	count := 0
+	for _, b := range bad {
+		if b {
+			count++
+		}
+	}
+	return count
 }
 
 // shoveLeft pushes cells left, right-to-left within each row, so no cell
