@@ -1,0 +1,66 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// diffSummary is the outcome of one baseline/current comparison.
+type diffSummary struct {
+	Regressed int // benchmarks beyond the threshold — the only gate failures
+	New       int // in current but missing from the baseline (reported, never fail)
+	Missing   int // in the baseline but absent from current (reported, never fail)
+	Compared  int // present in both
+}
+
+// compare reports every benchmark of baseline and current against each
+// other. Only regressions beyond threshold count against the gate:
+// benchmarks missing from the baseline are "new" (a freshly added
+// benchmark — e.g. a server benchmark — must not break the perf gate until
+// the baseline is regenerated), and benchmarks missing from the current run
+// are "missing" (a renamed or filtered-out benchmark; update the baseline).
+func compare(baseline, current map[string]float64, threshold float64, w io.Writer) diffSummary {
+	var sum diffSummary
+
+	names := make([]string, 0, len(baseline))
+	for name := range baseline {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		base := baseline[name]
+		cur, ok := current[name]
+		if !ok {
+			sum.Missing++
+			fmt.Fprintf(w, "MISSING  %-60s baseline %.0f ns/op, absent from current run\n", name, base)
+			continue
+		}
+		sum.Compared++
+		delta := cur/base - 1
+		status := "ok      "
+		if delta > threshold {
+			status = "REGRESS "
+			sum.Regressed++
+		}
+		fmt.Fprintf(w, "%s %-60s %14.0f -> %14.0f ns/op  (%+.1f%%)\n", status, name, base, cur, 100*delta)
+	}
+
+	extra := make([]string, 0)
+	for name := range current {
+		if _, ok := baseline[name]; !ok {
+			extra = append(extra, name)
+		}
+	}
+	sort.Strings(extra)
+	for _, name := range extra {
+		sum.New++
+		fmt.Fprintf(w, "NEW      %-60s %14.0f ns/op (not in baseline; add with the next baseline refresh)\n",
+			name, current[name])
+	}
+	if sum.New > 0 || sum.Missing > 0 {
+		fmt.Fprintf(w, "benchdiff: %d compared, %d new, %d missing (new/missing never fail the gate)\n",
+			sum.Compared, sum.New, sum.Missing)
+	}
+	return sum
+}

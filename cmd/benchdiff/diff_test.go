@@ -1,0 +1,86 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCompareRegression(t *testing.T) {
+	var out strings.Builder
+	sum := compare(
+		map[string]float64{"BenchmarkA": 100, "BenchmarkB": 100},
+		map[string]float64{"BenchmarkA": 130, "BenchmarkB": 110},
+		0.25, &out)
+	if sum.Regressed != 1 {
+		t.Errorf("Regressed = %d, want 1", sum.Regressed)
+	}
+	if sum.Compared != 2 {
+		t.Errorf("Compared = %d, want 2", sum.Compared)
+	}
+	if !strings.Contains(out.String(), "REGRESS  BenchmarkA") {
+		t.Errorf("output missing regression line:\n%s", out.String())
+	}
+}
+
+// TestCompareNewBenchmarksNeverFail pins the perf-gate contract: a
+// benchmark present in the current run but missing from the committed
+// baseline (e.g. a freshly added server benchmark) is reported as NEW and
+// contributes nothing to the failure count.
+func TestCompareNewBenchmarksNeverFail(t *testing.T) {
+	var out strings.Builder
+	sum := compare(
+		map[string]float64{"BenchmarkOld": 100},
+		map[string]float64{
+			"BenchmarkOld":              100,
+			"BenchmarkServeLegalize":    12345,
+			"BenchmarkServeCacheLookup": 99999999, // arbitrarily slow — still must not fail
+		},
+		0.25, &out)
+	if sum.Regressed != 0 {
+		t.Fatalf("Regressed = %d, want 0 — new benchmarks must not fail the gate\n%s",
+			sum.Regressed, out.String())
+	}
+	if sum.New != 2 {
+		t.Errorf("New = %d, want 2", sum.New)
+	}
+	for _, want := range []string{
+		"NEW      BenchmarkServeLegalize",
+		"NEW      BenchmarkServeCacheLookup",
+		"2 new, 0 missing",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestCompareMissingBenchmarksNeverFail pins the symmetric case: a baseline
+// entry absent from the current run (renamed or filtered out) is reported
+// but does not fail the gate.
+func TestCompareMissingBenchmarksNeverFail(t *testing.T) {
+	var out strings.Builder
+	sum := compare(
+		map[string]float64{"BenchmarkOld": 100, "BenchmarkGone": 50},
+		map[string]float64{"BenchmarkOld": 100},
+		0.25, &out)
+	if sum.Regressed != 0 {
+		t.Errorf("Regressed = %d, want 0", sum.Regressed)
+	}
+	if sum.Missing != 1 {
+		t.Errorf("Missing = %d, want 1", sum.Missing)
+	}
+	if !strings.Contains(out.String(), "MISSING  BenchmarkGone") {
+		t.Errorf("output missing MISSING line:\n%s", out.String())
+	}
+}
+
+func TestCompareDisjointSetsOnlyReport(t *testing.T) {
+	var out strings.Builder
+	sum := compare(
+		map[string]float64{"BenchmarkA": 100},
+		map[string]float64{"BenchmarkB": 100},
+		0.25, &out)
+	if sum.Regressed != 0 || sum.Compared != 0 || sum.New != 1 || sum.Missing != 1 {
+		t.Errorf("summary = %+v, want 0 regressed/compared, 1 new, 1 missing", sum)
+	}
+}

@@ -15,7 +15,6 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"sort"
 )
 
 func main() {
@@ -42,41 +41,9 @@ func main() {
 		fatal(fmt.Errorf("benchdiff: no benchmark results in current input"))
 	}
 
-	names := make([]string, 0, len(baseline))
-	for name := range baseline {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-
-	regressed := 0
-	for _, name := range names {
-		base := baseline[name]
-		cur, ok := current[name]
-		if !ok {
-			fmt.Printf("MISSING  %-60s baseline %.0f ns/op, absent from current run\n", name, base)
-			continue
-		}
-		delta := cur/base - 1
-		status := "ok      "
-		if delta > *threshold {
-			status = "REGRESS "
-			regressed++
-		}
-		fmt.Printf("%s %-60s %14.0f -> %14.0f ns/op  (%+.1f%%)\n", status, name, base, cur, 100*delta)
-	}
-	extra := make([]string, 0)
-	for name := range current {
-		if _, ok := baseline[name]; !ok {
-			extra = append(extra, name)
-		}
-	}
-	sort.Strings(extra)
-	for _, name := range extra {
-		fmt.Printf("NEW      %-60s %14.0f ns/op (not in baseline)\n", name, current[name])
-	}
-
-	if regressed > 0 {
-		fmt.Printf("benchdiff: %d benchmark(s) regressed beyond %.0f%%\n", regressed, 100**threshold)
+	sum := compare(baseline, current, *threshold, os.Stdout)
+	if sum.Regressed > 0 {
+		fmt.Printf("benchdiff: %d benchmark(s) regressed beyond %.0f%%\n", sum.Regressed, 100**threshold)
 		if !*advisory {
 			os.Exit(1)
 		}

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"mclg/internal/bookshelf"
+	"mclg/internal/serve"
+	"mclg/internal/serve/report"
+)
+
+// submitRemote sends the run described by the CLI flags to an mclgd daemon
+// instead of solving locally, and returns the daemon's report. For -aux
+// inputs the Bookshelf component files are inlined into the request body,
+// so the daemon needs no filesystem access to the design.
+func submitRemote(serverURL string, req *serve.Request, timeout time.Duration) (*report.Report, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	client := &http.Client{}
+	if timeout > 0 {
+		// Leave headroom over the job deadline so the daemon's own 504
+		// arrives instead of a client-side cutoff.
+		client.Timeout = timeout + 10*time.Second
+	}
+	url := strings.TrimSuffix(serverURL, "/") + "/v1/legalize"
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 256<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var eb struct {
+			Error string `json:"error"`
+			Class string `json:"class"`
+		}
+		if json.Unmarshal(raw, &eb) == nil && eb.Error != "" {
+			return nil, fmt.Errorf("server: %s (%s, HTTP %d)", eb.Error, eb.Class, resp.StatusCode)
+		}
+		return nil, fmt.Errorf("server: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(raw)))
+	}
+	rep := &report.Report{}
+	if err := json.Unmarshal(raw, rep); err != nil {
+		return nil, fmt.Errorf("server: unparsable response: %w", err)
+	}
+	return rep, nil
+}
+
+// remoteRequest translates the CLI flags into a serve.Request. aux designs
+// are uploaded inline; bench designs travel by name.
+func remoteRequest(auxPath, bench string, scale float64, method string, resilient bool,
+	opts serve.OptionsJSON, timeout time.Duration, wantPlacement bool) (*serve.Request, error) {
+	req := &serve.Request{
+		Method:           method,
+		Resilient:        resilient,
+		Options:          &opts,
+		IncludePlacement: wantPlacement,
+	}
+	if timeout > 0 {
+		req.TimeoutMS = int64(timeout / time.Millisecond)
+	}
+	switch {
+	case auxPath != "":
+		files, err := bookshelf.ReadAux(auxPath)
+		if err != nil {
+			return nil, err
+		}
+		req.Files = map[string]string{}
+		for comp, path := range map[string]string{
+			"nodes": files.Nodes, "nets": files.Nets, "pl": files.Pl,
+			"scl": files.Scl, "wts": files.Wts,
+		} {
+			if path == "" {
+				continue
+			}
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				return nil, err
+			}
+			req.Files[comp] = string(raw)
+		}
+	case bench != "":
+		req.Bench, req.Scale = bench, scale
+	default:
+		return nil, fmt.Errorf("one of -aux or -bench is required")
+	}
+	return req, nil
+}

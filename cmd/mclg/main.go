@@ -2,16 +2,23 @@
 //
 // Input is either a Bookshelf .aux file (-aux) or a named benchmark from
 // the synthetic suite (-bench, with -scale). The legalized placement can be
-// written back as Bookshelf (-out) and quality metrics are printed.
+// written back as Bookshelf (-out) and quality metrics are printed; -json
+// swaps the human summary for the machine-readable report schema shared
+// with the mclgd daemon. With -server the job is submitted to a running
+// mclgd instead of being solved locally.
 //
 //	mclg -bench fft_2 -scale 0.01
 //	mclg -aux design.aux -method ours -out legal.aux
+//	mclg -bench fft_2 -scale 0.01 -json
+//	mclg -server http://localhost:8080 -bench fft_2 -scale 0.01
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"syscall"
@@ -26,8 +33,14 @@ import (
 	"mclg/internal/gp"
 	"mclg/internal/metrics"
 	"mclg/internal/refine"
+	"mclg/internal/serve"
+	"mclg/internal/serve/report"
 	"mclg/internal/tetris"
 )
+
+// info is where human-readable chatter goes: stdout normally, stderr under
+// -json so stdout carries exactly one JSON document.
+var info io.Writer = os.Stdout
 
 func main() {
 	var (
@@ -49,8 +62,22 @@ func main() {
 		timeout    = flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
 		resilient  = flag.Bool("resilient", false, "with -method ours: run the fallback cascade (mmsim -> retuned -> pgs -> greedy)")
 		workers    = flag.Int("workers", 0, "worker goroutines for the hot stages: 0 = all cores, 1 = serial (any value gives identical output)")
+		serverURL  = flag.String("server", "", "submit the job to a running mclgd at this base URL instead of solving locally")
+		jsonOut    = flag.Bool("json", false, "emit the machine-readable run report (mclgd schema) on stdout")
 	)
 	flag.Parse()
+	if *jsonOut {
+		info = os.Stderr
+	}
+
+	if *serverURL != "" {
+		runRemote(*serverURL, *auxPath, *benchName, *scale, *method, *resilient,
+			serve.OptionsJSON{
+				Lambda: *lambda, Beta: *beta, Theta: *theta, Eps: *eps,
+				AutoTheta: *autoTheta, BoundRight: *boundRight, Workers: *workers,
+			}, *timeout, *outPath, *jsonOut, *runGP || *checkOnly || *refineObj != "")
+		return
+	}
 
 	// SIGINT/SIGTERM and -timeout cancel the same context; every solver
 	// stage polls it and aborts with a typed mclgerr.ErrCanceled error.
@@ -66,7 +93,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("design %s: %d cells (%d multi-row), %d rows, density %.2f\n",
+	fmt.Fprintf(info, "design %s: %d cells (%d multi-row), %d rows, density %.2f\n",
 		d.Name, len(d.Cells), countMulti(d), len(d.Rows), d.Density())
 
 	if *runGP {
@@ -74,19 +101,19 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("global placement: %d rounds, %d CG iterations, overflow %.3f\n",
+		fmt.Fprintf(info, "global placement: %d rounds, %d CG iterations, overflow %.3f\n",
 			res.Iterations, res.CGIters, res.Overflow)
 	}
 
 	if *checkOnly {
 		rep := design.CheckLegal(d)
-		fmt.Printf("legality: %s\n", rep)
+		fmt.Fprintf(info, "legality: %s\n", rep)
 		for i, v := range rep.Violations {
 			if i >= 20 {
-				fmt.Printf("  ... %d more\n", len(rep.Violations)-20)
+				fmt.Fprintf(info, "  ... %d more\n", len(rep.Violations)-20)
 				break
 			}
-			fmt.Printf("  %s\n", v)
+			fmt.Fprintf(info, "  %s\n", v)
 		}
 		if !rep.Legal() {
 			os.Exit(1)
@@ -96,24 +123,28 @@ func main() {
 
 	gpHPWL := metrics.HPWLGlobal(d)
 	t0 := time.Now()
+	var (
+		stats       *core.Stats
+		rung        string
+		numAttempts int
+	)
 	switch *method {
 	case "ours":
 		opts := core.Options{Lambda: *lambda, Beta: *beta, Theta: *theta, Eps: *eps,
 			AutoTheta: *autoTheta, BoundRight: *boundRight, Workers: *workers}
-		var stats *core.Stats
 		if *resilient {
 			rs, err := core.NewResilient(core.ResilientOptions{Base: opts}).LegalizeContext(ctx, d)
 			if err != nil {
 				fatal(err)
 			}
-			stats = &rs.Stats
-			fmt.Printf("  resilient: succeeded on rung %q after %d attempt(s)\n", rs.Rung, len(rs.Attempts))
+			stats, rung, numAttempts = &rs.Stats, string(rs.Rung), len(rs.Attempts)
+			fmt.Fprintf(info, "  resilient: succeeded on rung %q after %d attempt(s)\n", rs.Rung, len(rs.Attempts))
 			if *verbose {
 				for _, a := range rs.Attempts {
 					if a.Err != nil {
-						fmt.Printf("    %s failed in %v: %v\n", a.Rung, a.Elapsed, a.Err)
+						fmt.Fprintf(info, "    %s failed in %v: %v\n", a.Rung, a.Elapsed, a.Err)
 					} else {
-						fmt.Printf("    %s succeeded in %v\n", a.Rung, a.Elapsed)
+						fmt.Fprintf(info, "    %s succeeded in %v\n", a.Rung, a.Elapsed)
 					}
 				}
 			}
@@ -125,11 +156,11 @@ func main() {
 			}
 		}
 		if *verbose {
-			fmt.Printf("  vars=%d cons=%d iters=%d converged=%v\n",
+			fmt.Fprintf(info, "  vars=%d cons=%d iters=%d converged=%v\n",
 				stats.NumVars, stats.NumCons, stats.Iterations, stats.Converged)
-			fmt.Printf("  subcell mismatch=%.4g illegal=%d unplaced=%d\n",
+			fmt.Fprintf(info, "  subcell mismatch=%.4g illegal=%d unplaced=%d\n",
 				stats.MaxSubcellMismatch, stats.Illegal, stats.Unplaced)
-			fmt.Printf("  build=%v solve=%v tetris=%v\n",
+			fmt.Fprintf(info, "  build=%v solve=%v tetris=%v\n",
 				stats.BuildTime, stats.SolveTime, stats.TetrisTime)
 		}
 	case "dac16":
@@ -162,37 +193,108 @@ func main() {
 			fatal(err)
 		}
 		if *verbose {
-			fmt.Printf("  refine: %d slides, %d swaps, objective %.4g -> %.4g\n",
+			fmt.Fprintf(info, "  refine: %d slides, %d swaps, objective %.4g -> %.4g\n",
 				res.Slides, res.Swaps, res.Initial, res.Final)
 		}
 	}
 	elapsed := time.Since(t0)
 
-	disp := metrics.MeasureDisplacement(d)
-	rep := design.CheckLegal(d)
-	fmt.Printf("method=%s runtime=%v\n", *method, elapsed)
-	fmt.Printf("total displacement: %.0f sites (max %.0f, avg %.2f)\n",
-		disp.TotalSites, disp.MaxSites, disp.TotalSites/float64(max(1, len(d.Cells))))
-	if gpHPWL > 0 {
-		fmt.Printf("HPWL: %.4g -> %.4g (ΔHPWL %.2f%%)\n",
-			gpHPWL, metrics.HPWL(d), 100*metrics.DeltaHPWL(d))
+	rep := report.FromDesign(d, *method, elapsed)
+	rep.Rung, rep.Attempts = rung, numAttempts
+	if stats != nil {
+		rep.Iterations = stats.Iterations
+		rep.Converged = stats.Converged
+		rep.Illegal = stats.Illegal
+		rep.Unplaced = stats.Unplaced
+		rep.BuildMS = float64(stats.BuildTime) / float64(time.Millisecond)
+		rep.SolveMS = float64(stats.SolveTime) / float64(time.Millisecond)
+		rep.TetrisMS = float64(stats.TetrisTime) / float64(time.Millisecond)
 	}
-	fmt.Printf("legality: %s\n", rep)
+
+	lrep := design.CheckLegal(d)
+	fmt.Fprintf(info, "method=%s runtime=%v\n", *method, elapsed)
+	fmt.Fprintf(info, "total displacement: %.0f sites (max %.0f, avg %.2f)\n",
+		rep.DisplacementSites, rep.MaxDispSites, rep.AvgDispSites)
+	if gpHPWL > 0 {
+		fmt.Fprintf(info, "HPWL: %.4g -> %.4g (ΔHPWL %.2f%%)\n",
+			gpHPWL, rep.HPWL, 100*rep.DeltaHPWL)
+	}
+	fmt.Fprintf(info, "legality: %s\n", lrep)
+
+	if *jsonOut {
+		printJSON(rep)
+	}
 
 	if *outPath != "" {
-		// Store the legalized positions as the .pl positions.
-		out := d.Clone()
-		for _, c := range out.Cells {
-			c.GX, c.GY = c.X, c.Y
-		}
-		if err := bookshelf.Write(out, *outPath); err != nil {
-			fatal(err)
-		}
-		fmt.Printf("wrote %s\n", *outPath)
+		writeLegalized(d, *outPath)
 	}
-	if !rep.Legal() {
+	if !rep.Legal {
 		os.Exit(1)
 	}
+}
+
+// runRemote is the -server flow: submit, report, optionally write the
+// returned placement back as Bookshelf.
+func runRemote(serverURL, auxPath, bench string, scale float64, method string, resilient bool,
+	opts serve.OptionsJSON, timeout time.Duration, outPath string, jsonOut, localOnlyFlags bool) {
+	if localOnlyFlags {
+		fatal(fmt.Errorf("-gp, -check and -refine run locally and cannot be combined with -server"))
+	}
+	req, err := remoteRequest(auxPath, bench, scale, method, resilient, opts, timeout, outPath != "")
+	if err != nil {
+		fatal(err)
+	}
+	rep, err := submitRemote(serverURL, req, timeout)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(info, "design %s: %d cells (%d multi-row) [served by %s, cache %s]\n",
+		rep.Design, rep.Cells, rep.MultiRowCells, serverURL, rep.Cache)
+	fmt.Fprintf(info, "method=%s runtime=%.0fms\n", rep.Method, rep.WallMS)
+	fmt.Fprintf(info, "total displacement: %.0f sites (max %.0f, avg %.2f)\n",
+		rep.DisplacementSites, rep.MaxDispSites, rep.AvgDispSites)
+	fmt.Fprintf(info, "HPWL: %.4g (ΔHPWL %.2f%%)\n", rep.HPWL, 100*rep.DeltaHPWL)
+	legality := "illegal"
+	if rep.Legal {
+		legality = "legal"
+	}
+	fmt.Fprintf(info, "legality: %s\n", legality)
+	if jsonOut {
+		printJSON(rep)
+	}
+	if outPath != "" {
+		d, err := loadDesign(auxPath, bench, scale)
+		if err != nil {
+			fatal(err)
+		}
+		if !rep.ApplyPlacement(d) {
+			fatal(fmt.Errorf("server response carries no usable placement for %d cells", len(d.Cells)))
+		}
+		writeLegalized(d, outPath)
+	}
+	if !rep.Legal {
+		os.Exit(1)
+	}
+}
+
+func printJSON(rep *report.Report) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fatal(err)
+	}
+}
+
+// writeLegalized stores the legalized positions as the .pl positions.
+func writeLegalized(d *design.Design, outPath string) {
+	out := d.Clone()
+	for _, c := range out.Cells {
+		c.GX, c.GY = c.X, c.Y
+	}
+	if err := bookshelf.Write(out, outPath); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(info, "wrote %s\n", outPath)
 }
 
 func loadDesign(aux, bench string, scale float64) (*design.Design, error) {
@@ -223,11 +325,4 @@ func countMulti(d *design.Design) int {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "mclg:", err)
 	os.Exit(2)
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -1,0 +1,89 @@
+// Command mclgd is the resident legalization daemon: it accepts
+// legalization jobs over HTTP, runs them on a bounded worker pool, caches
+// results by content, and drains gracefully on SIGTERM.
+//
+//	mclgd -addr :8080 -pool 2 -queue 8 -cache 128
+//	curl -s localhost:8080/v1/legalize -d '{"bench":"fft_2","scale":0.004}'
+//	curl -s localhost:8080/metrics
+//
+// See docs/serving.md for the full API and lifecycle contract.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mclg/internal/serve"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		pool         = flag.Int("pool", 2, "worker pool size (concurrent solves)")
+		queueCap     = flag.Int("queue", 8, "job queue capacity (admissions past it get 429)")
+		cacheCap     = flag.Int("cache", 128, "result cache capacity in entries (negative disables)")
+		jobTimeout   = flag.Duration("job-timeout", 60*time.Second, "default per-job deadline (requests may shorten it)")
+		maxJobTime   = flag.Duration("max-job-timeout", 2*time.Minute, "hard cap on any per-job deadline")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight jobs on SIGTERM before they are canceled")
+	)
+	flag.Parse()
+
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	srv := serve.New(serve.Config{
+		Workers:           *pool,
+		QueueCap:          *queueCap,
+		CacheCap:          *cacheCap,
+		DefaultJobTimeout: *jobTimeout,
+		MaxJobTimeout:     *maxJobTime,
+		Logger:            logger,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mclgd:", err)
+		os.Exit(2)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	logger.Info("mclgd listening", "addr", ln.Addr().String(),
+		"pool", *pool, "queue", *queueCap, "cache", *cacheCap)
+
+	errCh := make(chan error, 1)
+	go func() {
+		if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+		}
+	}()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		logger.Info("draining", "signal", sig.String(), "grace", drainTimeout.String())
+	case err := <-errCh:
+		fmt.Fprintln(os.Stderr, "mclgd:", err)
+		os.Exit(2)
+	}
+
+	// Drain first so in-flight jobs finish (or are canceled at the grace
+	// deadline) and their HTTP responses flush; then stop the listener.
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Drain(drainCtx); err != nil {
+		logger.Warn("drain canceled in-flight jobs at the deadline", "err", err.Error())
+	}
+	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		logger.Warn("http shutdown", "err", err.Error())
+	}
+	logger.Info("mclgd stopped")
+}

@@ -1,0 +1,214 @@
+package mclg
+
+// End-to-end tests for the serving layer: a real mclgd process driven by
+// the real mclg client binary over HTTP, including SIGTERM drain.
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os/exec"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// startMclgd launches the daemon on an ephemeral port and returns its base
+// URL plus the running command. The caller owns shutdown.
+func startMclgd(t *testing.T, bin string, extraArgs ...string) (*exec.Cmd, string, *bufio.Scanner) {
+	t.Helper()
+	args := append([]string{"-addr", "127.0.0.1:0"}, extraArgs...)
+	cmd := exec.Command(bin, args...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// The first structured log line announces the bound address.
+	sc := bufio.NewScanner(stderr)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	var addr string
+	for sc.Scan() {
+		var ev struct {
+			Msg  string `json:"msg"`
+			Addr string `json:"addr"`
+		}
+		if json.Unmarshal(sc.Bytes(), &ev) == nil && ev.Msg == "mclgd listening" {
+			addr = ev.Addr
+			break
+		}
+	}
+	if addr == "" {
+		_ = cmd.Process.Kill()
+		t.Fatal("mclgd never announced its listen address")
+	}
+	url := "http://" + addr
+	for i := 0; i < 100; i++ {
+		resp, err := http.Get(url + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return cmd, url, sc
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	_ = cmd.Process.Kill()
+	t.Fatal("mclgd never became ready")
+	return nil, "", nil
+}
+
+// drainLogs consumes the daemon's remaining stderr so the process never
+// blocks on a full pipe, returning everything read.
+func drainLogs(sc *bufio.Scanner) chan string {
+	out := make(chan string, 1)
+	go func() {
+		var sb strings.Builder
+		for sc.Scan() {
+			sb.WriteString(sc.Text())
+			sb.WriteByte('\n')
+		}
+		out <- sb.String()
+	}()
+	return out
+}
+
+// TestE2EMclgJSONLocal checks that a local (serverless) -json run emits the
+// same machine-readable schema the daemon returns.
+func TestE2EMclgJSONLocal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	mclg := buildCmd(t, "mclg")
+	out, err := exec.Command(mclg, "-bench", "fft_2", "-scale", "0.004", "-json").Output()
+	if err != nil {
+		t.Fatalf("mclg -json: %v\n%s", err, out)
+	}
+	var rep struct {
+		Design     string  `json:"design"`
+		Legal      bool    `json:"legal"`
+		Converged  bool    `json:"converged"`
+		Iterations int     `json:"iterations"`
+		PosHash    string  `json:"pos_hash"`
+		WallMS     float64 `json:"wall_ms"`
+		Cache      string  `json:"cache"`
+	}
+	if err := json.Unmarshal(out, &rep); err != nil {
+		t.Fatalf("stdout is not one JSON document: %v\n%s", err, out)
+	}
+	if rep.Design != "fft_2" || !rep.Legal || !rep.Converged || rep.Iterations == 0 || rep.PosHash == "" {
+		t.Errorf("unexpected report: %+v", rep)
+	}
+	if rep.Cache != "" {
+		t.Errorf("local run must not claim a cache disposition, got %q", rep.Cache)
+	}
+}
+
+func TestE2EMclgdServeSubmitAndDrain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	mclgd := buildCmd(t, "mclgd")
+	mclg := buildCmd(t, "mclg")
+	daemon, url, sc := startMclgd(t, mclgd)
+	logs := drainLogs(sc)
+	defer func() { _ = daemon.Process.Kill() }()
+
+	// Submit the same benchmark twice through the client: first a solve,
+	// then a cache hit with the identical placement digest.
+	type rep struct {
+		Legal   bool   `json:"legal"`
+		Cache   string `json:"cache"`
+		PosHash string `json:"pos_hash"`
+	}
+	submit := func() rep {
+		// -json keeps stdout to exactly one JSON document (chatter goes
+		// to stderr), so capture stdout alone.
+		out, err := exec.Command(mclg, "-server", url, "-bench", "fft_2", "-scale", "0.004", "-json").Output()
+		if err != nil {
+			t.Fatalf("client submit failed: %v\n%s", err, out)
+		}
+		var r rep
+		if err := json.Unmarshal(out, &r); err != nil {
+			t.Fatalf("client -json output unparsable: %v\n%s", err, out)
+		}
+		return r
+	}
+	first := submit()
+	if !first.Legal || first.Cache != "miss" {
+		t.Fatalf("first submit: %+v, want legal miss", first)
+	}
+	second := submit()
+	if !second.Legal || second.Cache != "hit" || second.PosHash != first.PosHash {
+		t.Fatalf("second submit: %+v, want hit with pos_hash %s", second, first.PosHash)
+	}
+
+	// The observability surface reflects the traffic.
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"mclgd_cache_hits_total 1",
+		"mclgd_cache_misses_total 1",
+		`mclgd_jobs_total{class="ok"} 1`,
+	} {
+		if !strings.Contains(string(raw), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// SIGTERM while a heavier job is in flight: the job must complete with
+	// a verified-legal result and the daemon must exit 0 after draining.
+	type clientResult struct {
+		rep rep
+		err error
+		out string
+	}
+	inFlight := make(chan clientResult, 1)
+	go func() {
+		out, err := exec.Command(mclg, "-server", url, "-bench", "superblue19",
+			"-scale", "0.02", "-eps", "1e-6", "-json").Output()
+		var r rep
+		if err == nil {
+			err = json.Unmarshal(out, &r)
+		}
+		inFlight <- clientResult{r, err, string(out)}
+	}()
+	time.Sleep(300 * time.Millisecond) // let the job reach the daemon
+	if err := daemon.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+
+	select {
+	case res := <-inFlight:
+		if res.err != nil {
+			t.Fatalf("in-flight job failed across SIGTERM: %v\n%s", res.err, res.out)
+		}
+		if !res.rep.Legal {
+			t.Errorf("drained job returned an illegal result: %+v", res.rep)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("in-flight job never completed after SIGTERM")
+	}
+
+	waitErr := make(chan error, 1)
+	go func() { waitErr <- daemon.Wait() }()
+	select {
+	case err := <-waitErr:
+		if err != nil {
+			t.Fatalf("mclgd exited uncleanly after SIGTERM: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("mclgd never exited after SIGTERM")
+	}
+	if lg := <-logs; !strings.Contains(lg, "mclgd stopped") {
+		t.Errorf("daemon logs missing drain completion:\n%s", lg)
+	}
+}

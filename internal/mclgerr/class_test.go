@@ -1,0 +1,53 @@
+package mclgerr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestClassCoversTaxonomy(t *testing.T) {
+	cases := []struct {
+		err  error
+		want string
+	}{
+		{nil, "ok"},
+		{ErrInvalidInput, "invalid_input"},
+		{ErrDiverged, "diverged"},
+		{ErrIterBudget, "iter_budget"},
+		{ErrInfeasibleRow, "infeasible_row"},
+		{ErrUnplacedCells, "unplaced_cells"},
+		{ErrCanceled, "canceled"},
+		{errors.New("mystery"), "other"},
+		// Wrapped forms must classify through the chain.
+		{Stage("mmsim", ErrDiverged), "diverged"},
+		{fmt.Errorf("outer: %w", Stage("tetris", ErrUnplacedCells)), "unplaced_cells"},
+		{Invalidf("bad λ"), "invalid_input"},
+		{Canceled(context.DeadlineExceeded), "canceled"},
+	}
+	for _, tc := range cases {
+		if got := Class(tc.err); got != tc.want {
+			t.Errorf("Class(%v) = %q, want %q", tc.err, got, tc.want)
+		}
+	}
+}
+
+// TestClassesListsEveryLabel keeps the pre-registration list in sync with
+// what Class can actually return.
+func TestClassesListsEveryLabel(t *testing.T) {
+	listed := map[string]bool{}
+	for _, c := range Classes() {
+		listed[c] = true
+	}
+	probes := []error{nil, ErrInvalidInput, ErrDiverged, ErrIterBudget,
+		ErrInfeasibleRow, ErrUnplacedCells, ErrCanceled, errors.New("x")}
+	for _, err := range probes {
+		if !listed[Class(err)] {
+			t.Errorf("Class(%v) = %q missing from Classes()", err, Class(err))
+		}
+	}
+	if len(listed) != len(probes) {
+		t.Errorf("Classes() has %d labels, probes produce %d", len(listed), len(probes))
+	}
+}

@@ -62,6 +62,38 @@ func IsTaxonomy(err error) bool {
 	return false
 }
 
+// Class reduces an error to a stable machine-readable label, one per
+// taxonomy sentinel. Serving layers key metrics and logs on it: a nil error
+// is "ok", a non-taxonomy error is "other". The labels are part of the
+// monitoring contract — do not rename them casually.
+func Class(err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.Is(err, ErrInvalidInput):
+		return "invalid_input"
+	case errors.Is(err, ErrCanceled):
+		return "canceled"
+	case errors.Is(err, ErrDiverged):
+		return "diverged"
+	case errors.Is(err, ErrIterBudget):
+		return "iter_budget"
+	case errors.Is(err, ErrInfeasibleRow):
+		return "infeasible_row"
+	case errors.Is(err, ErrUnplacedCells):
+		return "unplaced_cells"
+	default:
+		return "other"
+	}
+}
+
+// Classes lists every label Class can return, in a stable order, so serving
+// layers can pre-register metric series.
+func Classes() []string {
+	return []string{"ok", "invalid_input", "canceled", "diverged",
+		"iter_budget", "infeasible_row", "unplaced_cells", "other"}
+}
+
 // StageError wraps a taxonomy sentinel (or a chain ending in one) with the
 // pipeline stage that failed and machine-readable diagnostics.
 type StageError struct {

@@ -1,0 +1,153 @@
+package metrics
+
+// Edge-case coverage for the quality metrics: degenerate netlists and
+// cell populations must yield finite numbers, never NaN/Inf or a panic.
+
+import (
+	"math"
+	"testing"
+
+	"mclg/internal/design"
+)
+
+// checkFinite asserts every metric of d is a finite number.
+func checkFinite(t *testing.T, d *design.Design) {
+	t.Helper()
+	for name, v := range map[string]float64{
+		"HPWL":       HPWL(d),
+		"HPWLGlobal": HPWLGlobal(d),
+		"DeltaHPWL":  DeltaHPWL(d),
+	} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Errorf("%s = %g, want finite", name, v)
+		}
+	}
+	disp := MeasureDisplacement(d)
+	for name, v := range map[string]float64{
+		"TotalSites": disp.TotalSites, "MaxSites": disp.MaxSites,
+		"TotalEucl": disp.TotalEucl, "SumSq": disp.SumSq,
+	} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Errorf("Displacement.%s = %g, want finite", name, v)
+		}
+	}
+}
+
+func TestSinglePinNetContributesZero(t *testing.T) {
+	d := mkDesign()
+	a := d.AddCell("a", 4, 10, design.VSS)
+	a.GX, a.GY, a.X, a.Y = 10, 0, 10, 0
+	d.Nets = append(d.Nets, design.Net{Name: "solo", Pins: []design.Pin{
+		{CellID: a.ID, DX: 1, DY: 1},
+	}})
+	if got := HPWL(d); got != 0 {
+		t.Errorf("HPWL with only a single-pin net = %g, want 0", got)
+	}
+	if got := DeltaHPWL(d); got != 0 {
+		t.Errorf("DeltaHPWL with only a single-pin net = %g, want 0", got)
+	}
+	checkFinite(t, d)
+}
+
+func TestZeroPinNet(t *testing.T) {
+	d := mkDesign()
+	d.Nets = append(d.Nets, design.Net{Name: "empty"})
+	if got := HPWL(d); got != 0 {
+		t.Errorf("HPWL with a zero-pin net = %g, want 0", got)
+	}
+	checkFinite(t, d)
+}
+
+func TestFixedOnlyNet(t *testing.T) {
+	d := mkDesign()
+	f1 := d.AddCell("f1", 4, 10, design.VSS)
+	f1.Fixed = true
+	f1.GX, f1.GY, f1.X, f1.Y = 0, 0, 0, 0
+	f2 := d.AddCell("f2", 4, 10, design.VSS)
+	f2.Fixed = true
+	f2.GX, f2.GY, f2.X, f2.Y = 20, 10, 20, 10
+	d.Nets = append(d.Nets, design.Net{Name: "fixed", Pins: []design.Pin{
+		{CellID: f1.ID, DX: 2, DY: 5},
+		{CellID: f2.ID, DX: 2, DY: 5},
+	}})
+	// Both endpoints are fixed and unmoved, so current == global HPWL and
+	// the ratio must be exactly zero (not 0/0).
+	if got := HPWL(d); got != 20+10 {
+		t.Errorf("HPWL = %g, want 30", got)
+	}
+	if got := DeltaHPWL(d); got != 0 {
+		t.Errorf("DeltaHPWL = %g, want 0", got)
+	}
+	disp := MeasureDisplacement(d)
+	if disp.Moved != 0 || disp.TotalSites != 0 {
+		t.Errorf("fixed-only design reported movement: %+v", disp)
+	}
+	checkFinite(t, d)
+}
+
+func TestPadOnlyNet(t *testing.T) {
+	// Pins with CellID < 0 are fixed pads at absolute coordinates.
+	d := mkDesign()
+	d.Nets = append(d.Nets, design.Net{Name: "pads", Pins: []design.Pin{
+		{CellID: -1, DX: 0, DY: 0},
+		{CellID: -1, DX: 7, DY: 3},
+	}})
+	if got := HPWL(d); got != 10 {
+		t.Errorf("pad-only HPWL = %g, want 10", got)
+	}
+	checkFinite(t, d)
+}
+
+func TestZeroMovableCellsDesign(t *testing.T) {
+	d := mkDesign()
+	for i := 0; i < 3; i++ {
+		f := d.AddCell("f", 4, 10, design.VSS)
+		f.Fixed = true
+		f.GX, f.GY = float64(10*i), 0
+		f.X, f.Y = f.GX, f.GY
+	}
+	disp := MeasureDisplacement(d)
+	if disp.Moved != 0 || disp.TotalSites != 0 || disp.MaxSites != 0 {
+		t.Errorf("zero-movable design reported displacement: %+v", disp)
+	}
+	checkFinite(t, d)
+}
+
+func TestEmptyDesign(t *testing.T) {
+	d := mkDesign()
+	if got := HPWL(d); got != 0 {
+		t.Errorf("empty-design HPWL = %g, want 0", got)
+	}
+	if got := DeltaHPWL(d); got != 0 {
+		t.Errorf("empty-design DeltaHPWL = %g, want 0", got)
+	}
+	disp := MeasureDisplacement(d)
+	if disp.TotalSites != 0 || disp.Moved != 0 {
+		t.Errorf("empty design reported displacement: %+v", disp)
+	}
+	checkFinite(t, d)
+}
+
+// TestZeroGlobalWirelength pins the DeltaHPWL guard: when the global
+// placement has zero wirelength (all pins coincide) but legalization moved
+// a cell, the ratio is defined to be 0, not +Inf.
+func TestZeroGlobalWirelength(t *testing.T) {
+	d := mkDesign()
+	a := d.AddCell("a", 4, 10, design.VSS)
+	a.GX, a.GY = 10, 0
+	a.X, a.Y = 14, 10 // moved by legalization
+	b := d.AddCell("b", 4, 10, design.VSS)
+	b.GX, b.GY = 10, 0
+	b.X, b.Y = 10, 0
+	d.Nets = append(d.Nets, design.Net{Name: "coincident", Pins: []design.Pin{
+		{CellID: a.ID, DX: 0, DY: 0},
+		{CellID: b.ID, DX: 0, DY: 0},
+	}})
+	if got := HPWLGlobal(d); got != 0 {
+		t.Fatalf("global HPWL = %g, want 0", got)
+	}
+	if got := DeltaHPWL(d); got != 0 {
+		t.Errorf("DeltaHPWL with zero global wirelength = %g, want 0 (guarded)", got)
+	}
+	checkFinite(t, d)
+}

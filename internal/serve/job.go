@@ -1,0 +1,251 @@
+package serve
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"mclg/internal/baselines/chow"
+	"mclg/internal/baselines/wang"
+	"mclg/internal/bookshelf"
+	"mclg/internal/core"
+	"mclg/internal/design"
+	"mclg/internal/gen"
+	"mclg/internal/mclgerr"
+	"mclg/internal/serve/report"
+	"mclg/internal/tetris"
+)
+
+// OptionsJSON is the wire form of the solver knobs a job may override.
+// Zero/omitted fields take the paper defaults (core.DefaultOptions), exactly
+// as the CLI flags do, so `{}` and a fully spelled-out default request hash
+// to the same cache key.
+type OptionsJSON struct {
+	Lambda     float64 `json:"lambda,omitempty"`
+	Beta       float64 `json:"beta,omitempty"`
+	Theta      float64 `json:"theta,omitempty"`
+	Eps        float64 `json:"eps,omitempty"`
+	MaxIter    int     `json:"max_iter,omitempty"`
+	AutoTheta  bool    `json:"autotheta,omitempty"`
+	BoundRight bool    `json:"boundright,omitempty"`
+	// Workers shards the solver's hot stages. It deliberately does NOT
+	// enter the cache key: the parallel hot path is bit-deterministic, so
+	// any worker count yields the same placement.
+	Workers int `json:"workers,omitempty"`
+}
+
+// Request is one legalization job. The design comes either from the named
+// synthetic suite benchmark (Bench + Scale) or from inline Bookshelf
+// component files (Files, keyed "nodes", "nets", "pl", "scl", "wts").
+type Request struct {
+	Bench string  `json:"bench,omitempty"`
+	Scale float64 `json:"scale,omitempty"`
+	// Files maps Bookshelf component extensions to file contents. "nodes",
+	// "pl" and "scl" are required when used; "nets" and "wts" are optional.
+	Files map[string]string `json:"files,omitempty"`
+
+	Method    string       `json:"method,omitempty"` // ours | dac16 | dac16imp | aspdac17 (default ours)
+	Resilient bool         `json:"resilient,omitempty"`
+	Options   *OptionsJSON `json:"options,omitempty"`
+
+	// TimeoutMS bounds the job's total time in the daemon, queue wait
+	// included; 0 takes the server default. The deadline feeds the solver's
+	// context-cancellation paths, so an expired job aborts mid-iteration
+	// with a typed canceled error.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+
+	// IncludePlacement asks for the full per-cell placement in the
+	// response (the pos_hash digest is always included).
+	IncludePlacement bool `json:"placement,omitempty"`
+}
+
+var validMethods = map[string]bool{"ours": true, "dac16": true, "dac16imp": true, "aspdac17": true}
+
+// validate normalizes defaults in place and rejects malformed requests with
+// ErrInvalidInput-matching errors.
+func (r *Request) validate() error {
+	if r.Method == "" {
+		r.Method = "ours"
+	}
+	if !validMethods[r.Method] {
+		return mclgerr.Invalidf("serve: unknown method %q", r.Method)
+	}
+	if r.Resilient && r.Method != "ours" {
+		return mclgerr.Invalidf("serve: resilient mode requires method \"ours\"")
+	}
+	switch {
+	case r.Bench != "" && len(r.Files) > 0:
+		return mclgerr.Invalidf("serve: request has both bench and files; pick one")
+	case r.Bench != "":
+		if _, err := gen.FindEntry(r.Bench); err != nil {
+			return mclgerr.Invalid(err)
+		}
+		if r.Scale == 0 {
+			r.Scale = 0.01
+		}
+		if r.Scale < 0 || r.Scale > 2 {
+			return mclgerr.Invalidf("serve: scale %g out of range (0, 2]", r.Scale)
+		}
+	case len(r.Files) > 0:
+		for _, req := range []string{"nodes", "pl", "scl"} {
+			if r.Files[req] == "" {
+				return mclgerr.Invalidf("serve: files upload missing %q component", req)
+			}
+		}
+		for k := range r.Files {
+			switch k {
+			case "nodes", "nets", "pl", "scl", "wts":
+			default:
+				return mclgerr.Invalidf("serve: unknown files component %q", k)
+			}
+		}
+	default:
+		return mclgerr.Invalidf("serve: request needs bench or files")
+	}
+	if r.TimeoutMS < 0 {
+		return mclgerr.Invalidf("serve: timeout_ms %d must be non-negative", r.TimeoutMS)
+	}
+	return nil
+}
+
+// coreOptions resolves the wire options against the paper defaults.
+func (r *Request) coreOptions() core.Options {
+	o := core.Options{}
+	if j := r.Options; j != nil {
+		o.Lambda, o.Beta, o.Theta, o.Eps = j.Lambda, j.Beta, j.Theta, j.Eps
+		o.MaxIter, o.AutoTheta, o.BoundRight, o.Workers = j.MaxIter, j.AutoTheta, j.BoundRight, j.Workers
+	}
+	return core.New(o).Opts
+}
+
+// key derives the content-addressed cache key: a SHA-256 over the design
+// source (benchmark identity or uploaded file bytes) and every
+// result-affecting option, resolved to post-default values. Workers is
+// excluded — the determinism contract makes it result-neutral — so a sweep
+// that varies only parallelism always hits.
+func (r *Request) key() string {
+	h := sha256.New()
+	o := r.coreOptions()
+	fmt.Fprintf(h, "method=%s|resilient=%v|", r.Method, r.Resilient)
+	fmt.Fprintf(h, "lambda=%g|beta=%g|theta=%g|gamma=%g|eps=%g|maxiter=%d|restol=%g|autotheta=%v|boundright=%v|",
+		o.Lambda, o.Beta, o.Theta, o.Gamma, o.Eps, o.MaxIter, o.ResidualTol, o.AutoTheta, o.BoundRight)
+	if r.Bench != "" {
+		fmt.Fprintf(h, "bench=%s@%g", r.Bench, r.Scale)
+	} else {
+		comps := make([]string, 0, len(r.Files))
+		for k := range r.Files {
+			comps = append(comps, k)
+		}
+		sort.Strings(comps)
+		for _, k := range comps {
+			sum := sha256.Sum256([]byte(r.Files[k]))
+			fmt.Fprintf(h, "file:%s=%x|", k, sum)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// loadDesign materializes the job's design. Uploaded Bookshelf components
+// are staged into a throwaway directory for the hardened reader.
+func (r *Request) loadDesign() (*design.Design, error) {
+	if r.Bench != "" {
+		e, err := gen.FindEntry(r.Bench)
+		if err != nil {
+			return nil, mclgerr.Invalid(err)
+		}
+		return gen.Generate(gen.SuiteSpec(e, r.Scale))
+	}
+	dir, err := os.MkdirTemp("", "mclgd-upload-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	var files bookshelf.Files
+	for comp, content := range r.Files {
+		p := filepath.Join(dir, "design."+comp)
+		if err := os.WriteFile(p, []byte(content), 0o600); err != nil {
+			return nil, err
+		}
+		switch comp {
+		case "nodes":
+			files.Nodes = p
+		case "nets":
+			files.Nets = p
+		case "pl":
+			files.Pl = p
+		case "scl":
+			files.Scl = p
+		case "wts":
+			files.Wts = p
+		}
+	}
+	return bookshelf.ReadFiles(files, "upload")
+}
+
+// solve runs the requested legalizer on d and returns the report. The
+// context carries the job deadline; every solver stage polls it.
+func (r *Request) solve(ctx context.Context, d *design.Design) (*report.Report, error) {
+	t0 := time.Now()
+	var (
+		stats    *core.Stats
+		rung     string
+		attempts int
+	)
+	switch r.Method {
+	case "ours":
+		opts := r.coreOptions()
+		if r.Resilient {
+			rs, err := core.NewResilient(core.ResilientOptions{Base: opts}).LegalizeContext(ctx, d)
+			if err != nil {
+				return nil, err
+			}
+			stats, rung, attempts = &rs.Stats, string(rs.Rung), len(rs.Attempts)
+		} else {
+			st, err := core.New(opts).LegalizeContext(ctx, d)
+			if err != nil {
+				return nil, err
+			}
+			stats = st
+		}
+	case "dac16":
+		if err := chow.LegalizeContext(ctx, d); err != nil {
+			return nil, err
+		}
+	case "dac16imp":
+		if err := chow.LegalizeImprovedContext(ctx, d, chow.Options{}); err != nil {
+			return nil, err
+		}
+	case "aspdac17":
+		if err := wang.LegalizeContext(ctx, d, wang.Options{}); err != nil {
+			return nil, err
+		}
+		if _, err := tetris.AllocateContext(ctx, d); err != nil {
+			return nil, err
+		}
+	}
+	rep := report.FromDesign(d, r.Method, time.Since(t0))
+	rep.Rung, rep.Attempts = rung, attempts
+	if stats != nil {
+		rep.Iterations = stats.Iterations
+		rep.Converged = stats.Converged
+		rep.Illegal = stats.Illegal
+		rep.Unplaced = stats.Unplaced
+		rep.BuildMS = float64(stats.BuildTime) / float64(time.Millisecond)
+		rep.SolveMS = float64(stats.SolveTime) / float64(time.Millisecond)
+		rep.TetrisMS = float64(stats.TetrisTime) / float64(time.Millisecond)
+	}
+	if !rep.Legal {
+		return rep, &mclgerr.StageError{
+			Stage:  r.Method,
+			Err:    mclgerr.ErrUnplacedCells,
+			Detail: "solver returned but the placement failed the legality checker",
+		}
+	}
+	rep.CapturePlacement(d)
+	return rep, nil
+}

@@ -1,0 +1,87 @@
+package report
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"mclg/internal/design"
+)
+
+func mkDesign() *design.Design {
+	d := design.NewDesign(design.Config{NumRows: 4, NumSites: 100, RowHeight: 10, SiteW: 2})
+	a := d.AddCell("a", 4, 10, design.VSS)
+	a.GX, a.GY, a.X, a.Y = 10, 0, 12, 0
+	b := d.AddCell("b", 4, 10, design.VSS)
+	b.GX, b.GY, b.X, b.Y = 20, 10, 20, 10
+	b.Flipped = true
+	return d
+}
+
+func TestFromDesignMeasures(t *testing.T) {
+	d := mkDesign()
+	r := FromDesign(d, "ours", 1500*time.Microsecond)
+	if r.Design != d.Name || r.Cells != 2 || r.Method != "ours" {
+		t.Errorf("header fields: %+v", r)
+	}
+	if r.DisplacementSites != 1 { // cell a moved 2 dbu = 1 site
+		t.Errorf("DisplacementSites = %g, want 1", r.DisplacementSites)
+	}
+	if r.AvgDispSites != 0.5 {
+		t.Errorf("AvgDispSites = %g, want 0.5", r.AvgDispSites)
+	}
+	if r.WallMS != 1.5 {
+		t.Errorf("WallMS = %g, want 1.5", r.WallMS)
+	}
+	if r.PosHash == "" {
+		t.Error("PosHash empty")
+	}
+}
+
+// TestPlacementRoundTrip pins the client contract: capture on the server,
+// JSON across the wire, apply onto a fresh local copy → bit-identical
+// positions and an unchanged digest.
+func TestPlacementRoundTrip(t *testing.T) {
+	d := mkDesign()
+	r := FromDesign(d, "ours", 0)
+	r.CapturePlacement(d)
+
+	raw, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded Report
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatal(err)
+	}
+
+	fresh := mkDesign()
+	fresh.Cells[0].X, fresh.Cells[0].Y = 0, 0 // scramble
+	fresh.Cells[1].Flipped = false
+	if !decoded.ApplyPlacement(fresh) {
+		t.Fatal("ApplyPlacement refused a matching design")
+	}
+	for i, c := range fresh.Cells {
+		o := d.Cells[i]
+		if c.X != o.X || c.Y != o.Y || c.Flipped != o.Flipped {
+			t.Errorf("cell %d: (%g,%g,%v) != (%g,%g,%v)", i, c.X, c.Y, c.Flipped, o.X, o.Y, o.Flipped)
+		}
+	}
+	if got := FromDesign(fresh, "ours", 0).PosHash; got != r.PosHash {
+		t.Errorf("pos_hash after round trip = %s, want %s", got, r.PosHash)
+	}
+}
+
+func TestApplyPlacementRejectsMismatch(t *testing.T) {
+	d := mkDesign()
+	r := FromDesign(d, "ours", 0)
+	if r.ApplyPlacement(d) {
+		t.Error("ApplyPlacement must refuse when no placement is attached")
+	}
+	r.CapturePlacement(d)
+	small := design.NewDesign(design.Config{NumRows: 4, NumSites: 100, RowHeight: 10, SiteW: 2})
+	small.AddCell("only", 4, 10, design.VSS)
+	if r.ApplyPlacement(small) {
+		t.Error("ApplyPlacement must refuse a cell-count mismatch")
+	}
+}

@@ -1,0 +1,442 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mclg/internal/bookshelf"
+	"mclg/internal/gen"
+	"mclg/internal/serve/report"
+)
+
+// newTestServer builds a server + httptest frontend; the cleanup drains it.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = s.Drain(ctx)
+	})
+	return s, ts
+}
+
+// post submits a request and decodes the response into out (which may be a
+// *report.Report or *errorBody), returning the HTTP response for headers.
+func post(t *testing.T, url string, req *Request, out any) *http.Response {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/legalize", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			t.Fatalf("unmarshal response (HTTP %d): %v\n%s", resp.StatusCode, err, raw)
+		}
+	}
+	return resp
+}
+
+func TestLegalizeBenchMissThenHit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("solves a benchmark")
+	}
+	_, ts := newTestServer(t, Config{})
+	req := &Request{Bench: "fft_2", Scale: 0.004}
+
+	var first report.Report
+	if resp := post(t, ts.URL, req, &first); resp.StatusCode != http.StatusOK {
+		t.Fatalf("HTTP %d", resp.StatusCode)
+	}
+	if !first.Legal || first.Cache != "miss" || first.PosHash == "" {
+		t.Fatalf("first response: %+v", first)
+	}
+	var second report.Report
+	post(t, ts.URL, req, &second)
+	if second.Cache != "hit" {
+		t.Errorf("second response cache = %q, want hit", second.Cache)
+	}
+	if second.PosHash != first.PosHash {
+		t.Errorf("cache hit changed pos_hash: %s vs %s", second.PosHash, first.PosHash)
+	}
+}
+
+// TestConcurrentIdenticalJobsSingleSolve is the dedup acceptance test: two
+// concurrent jobs of the same design+options must produce exactly one solve
+// and one cache hit, with bit-identical placements.
+func TestConcurrentIdenticalJobsSingleSolve(t *testing.T) {
+	if testing.Short() {
+		t.Skip("solves a benchmark")
+	}
+	s, ts := newTestServer(t, Config{Workers: 2})
+	req := &Request{Bench: "des_perf_1", Scale: 0.004, IncludePlacement: true}
+
+	var wg sync.WaitGroup
+	reports := make([]*report.Report, 2)
+	for i := range reports {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var rep report.Report
+			if resp := post(t, ts.URL, req, &rep); resp.StatusCode != http.StatusOK {
+				t.Errorf("request %d: HTTP %d", i, resp.StatusCode)
+				return
+			}
+			reports[i] = &rep
+		}(i)
+	}
+	wg.Wait()
+	if reports[0] == nil || reports[1] == nil {
+		t.Fatal("a request failed")
+	}
+
+	_, hits, misses, _ := s.cache.stats()
+	if misses != 1 || hits != 1 {
+		t.Errorf("cache traffic: %d misses, %d hits, want exactly 1 and 1", misses, hits)
+	}
+	caches := []string{reports[0].Cache, reports[1].Cache}
+	if !(caches[0] == "miss" && caches[1] == "hit" || caches[0] == "hit" && caches[1] == "miss") {
+		t.Errorf("cache labels = %v, want one miss + one hit", caches)
+	}
+	if reports[0].PosHash != reports[1].PosHash {
+		t.Errorf("pos_hash diverged: %s vs %s", reports[0].PosHash, reports[1].PosHash)
+	}
+	if reports[0].Placement == nil || reports[1].Placement == nil {
+		t.Fatal("placements missing from responses")
+	}
+	if !reflect.DeepEqual(reports[0].Placement, reports[1].Placement) {
+		t.Error("placements are not bit-identical")
+	}
+}
+
+// TestQueueSaturation is the admission-control acceptance test: with one
+// busy worker and a full queue, the next job gets 429 + Retry-After; a hard
+// drain then cancels the stuck jobs through their contexts, surfacing 504s
+// instead of hung waiters.
+func TestQueueSaturation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("occupies a worker with a heavy solve")
+	}
+	s := New(Config{Workers: 1, QueueCap: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	slow := func(scale float64) *Request {
+		// eps far below achievable → the MMSIM grinds its full budget;
+		// distinct scales → distinct cache keys, so no dedup interferes.
+		return &Request{Bench: "superblue19", Scale: scale,
+			Options: &OptionsJSON{Eps: 1e-12}, TimeoutMS: 60000}
+	}
+
+	type outcome struct {
+		status int
+		body   errorBody
+	}
+	results := make(chan outcome, 2)
+	submit := func(req *Request) {
+		var eb errorBody
+		resp := post(t, ts.URL, req, &eb)
+		results <- outcome{resp.StatusCode, eb}
+	}
+
+	go submit(slow(0.02))
+	waitFor(t, "worker busy", func() bool { return s.stats.inflight.get() == 1 })
+	go submit(slow(0.019))
+	waitFor(t, "queue occupied", func() bool { return s.stats.queueDepth.get() == 1 })
+
+	var eb errorBody
+	resp := post(t, ts.URL, slow(0.018), &eb)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("third job: HTTP %d, want 429 (%+v)", resp.StatusCode, eb)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 response missing Retry-After")
+	}
+	if eb.Class != "queue_full" {
+		t.Errorf("429 class = %q, want queue_full", eb.Class)
+	}
+	if s.stats.rejectedFull.get() != 1 {
+		t.Errorf("rejected_total{queue_full} = %d, want 1", s.stats.rejectedFull.get())
+	}
+
+	// Hard drain: the grace period expires immediately, so the in-flight
+	// and queued jobs are canceled through their contexts and their
+	// waiters receive typed 504s.
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := s.Drain(ctx); err == nil {
+		t.Error("hard drain should report the context error")
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case out := <-results:
+			if out.status != http.StatusGatewayTimeout || out.body.Class != "canceled" {
+				t.Errorf("canceled job: HTTP %d class %q, want 504 canceled", out.status, out.body.Class)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatal("canceled job never responded")
+		}
+	}
+}
+
+// TestDrainFinishesInFlight is the graceful-shutdown acceptance test: a job
+// racing a drain still completes with an uncorrupted (verified-legal)
+// result, and post-drain the server refuses work.
+func TestDrainFinishesInFlight(t *testing.T) {
+	if testing.Short() {
+		t.Skip("solves a benchmark")
+	}
+	s := New(Config{Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	done := make(chan *report.Report, 1)
+	go func() {
+		var rep report.Report
+		if resp := post(t, ts.URL, &Request{Bench: "fft_2", Scale: 0.01}, &rep); resp.StatusCode != http.StatusOK {
+			t.Errorf("in-flight job: HTTP %d", resp.StatusCode)
+		}
+		done <- &rep
+	}()
+	waitFor(t, "job admitted", func() bool {
+		if s.stats.inflight.get() == 1 || s.stats.queueDepth.get() == 1 {
+			return true
+		}
+		// The job may already have finished — that still exercises the
+		// drain-after-work path below.
+		c, _ := s.stats.jobs.Load("ok")
+		return c.(*counter).get() >= 1
+	})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("graceful drain failed: %v", err)
+	}
+	rep := <-done
+	if !rep.Legal || rep.PosHash == "" {
+		t.Errorf("drained job returned a corrupt result: %+v", rep)
+	}
+
+	// Readiness flips and new work is refused with 503.
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("readyz after drain: HTTP %d, want 503", resp.StatusCode)
+	}
+	var eb errorBody
+	if resp := post(t, ts.URL, &Request{Bench: "fft_2", Scale: 0.004}, &eb); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("submit after drain: HTTP %d, want 503", resp.StatusCode)
+	}
+}
+
+func TestMetricsSurface(t *testing.T) {
+	if testing.Short() {
+		t.Skip("solves a benchmark")
+	}
+	_, ts := newTestServer(t, Config{})
+	req := &Request{Bench: "fft_2", Scale: 0.004}
+	post(t, ts.URL, req, nil)
+	post(t, ts.URL, req, nil)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	body := string(raw)
+	for _, want := range []string{
+		"mclgd_queue_depth 0",
+		"mclgd_inflight_jobs 0",
+		"mclgd_cache_hits_total 1",
+		"mclgd_cache_misses_total 1",
+		"mclgd_cache_entries 1",
+		`mclgd_jobs_total{class="ok"} 1`,
+		`mclgd_jobs_total{class="canceled"} 0`,
+		`mclgd_rejected_total{reason="queue_full"} 0`,
+		`mclgd_stage_seconds_bucket{stage="solve",le="+Inf"} 1`,
+		`mclgd_stage_seconds_count{stage="parse"} 1`,
+		`mclgd_stage_seconds_count{stage="total"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	if resp.Header.Get("Content-Type") != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Errorf("metrics content type = %q", resp.Header.Get("Content-Type"))
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz: HTTP %d", resp.StatusCode)
+	}
+}
+
+func TestInvalidRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"empty", `{}`},
+		{"unknown bench", `{"bench":"nope"}`},
+		{"bench and files", `{"bench":"fft_2","files":{"nodes":"x","pl":"y","scl":"z"}}`},
+		{"bad method", `{"bench":"fft_2","method":"magic"}`},
+		{"resilient baseline", `{"bench":"fft_2","method":"dac16","resilient":true}`},
+		{"negative timeout", `{"bench":"fft_2","timeout_ms":-1}`},
+		{"scale out of range", `{"bench":"fft_2","scale":99}`},
+		{"files missing scl", `{"files":{"nodes":"x","pl":"y"}}`},
+		{"unknown file component", `{"files":{"nodes":"x","pl":"y","scl":"z","foo":"w"}}`},
+		{"unknown field", `{"bench":"fft_2","wat":1}`},
+		{"malformed json", `{`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Post(ts.URL+"/v1/legalize", "application/json", strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			var eb errorBody
+			raw, _ := io.ReadAll(resp.Body)
+			_ = json.Unmarshal(raw, &eb)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Errorf("HTTP %d, want 400 (%s)", resp.StatusCode, raw)
+			}
+			if eb.Class != "invalid_input" {
+				t.Errorf("class = %q, want invalid_input", eb.Class)
+			}
+		})
+	}
+}
+
+// TestUploadBookshelf round-trips a generated design through Bookshelf file
+// upload and checks the daemon legalizes it.
+func TestUploadBookshelf(t *testing.T) {
+	if testing.Short() {
+		t.Skip("solves a benchmark")
+	}
+	e, err := gen.FindEntry("pci_bridge32_b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := gen.Generate(gen.SuiteSpec(e, 0.004))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	aux := filepath.Join(dir, "up.aux")
+	if err := bookshelf.Write(d, aux); err != nil {
+		t.Fatal(err)
+	}
+	files := map[string]string{}
+	for comp, name := range map[string]string{
+		"nodes": "up.nodes", "nets": "up.nets", "pl": "up.pl", "scl": "up.scl", "wts": "up.wts",
+	} {
+		raw, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			continue // optional components may not exist
+		}
+		files[comp] = string(raw)
+	}
+	_, ts := newTestServer(t, Config{})
+	var rep report.Report
+	if resp := post(t, ts.URL, &Request{Files: files}, &rep); resp.StatusCode != http.StatusOK {
+		t.Fatalf("HTTP %d", resp.StatusCode)
+	}
+	if !rep.Legal {
+		t.Error("uploaded design not legalized")
+	}
+	if rep.Cells != len(d.Cells) {
+		t.Errorf("cells = %d, want %d", rep.Cells, len(d.Cells))
+	}
+}
+
+// TestCacheKeyCanonicalization pins the content-addressing rules: omitted
+// options hash like spelled-out defaults, Workers is result-neutral and
+// excluded, and any result-affecting knob or source change changes the key.
+func TestCacheKeyCanonicalization(t *testing.T) {
+	base := &Request{Bench: "fft_2", Scale: 0.004}
+	if err := base.validate(); err != nil {
+		t.Fatal(err)
+	}
+	k := base.key()
+
+	explicit := &Request{Bench: "fft_2", Scale: 0.004,
+		Options: &OptionsJSON{Lambda: 1000, Beta: 0.5, Theta: 0.5, Eps: 1e-4}}
+	if err := explicit.validate(); err != nil {
+		t.Fatal(err)
+	}
+	if explicit.key() != k {
+		t.Error("spelled-out defaults must hash like omitted options")
+	}
+
+	workers := &Request{Bench: "fft_2", Scale: 0.004, Options: &OptionsJSON{Workers: 8}}
+	if err := workers.validate(); err != nil {
+		t.Fatal(err)
+	}
+	if workers.key() != k {
+		t.Error("workers must not enter the cache key (determinism contract)")
+	}
+
+	for name, req := range map[string]*Request{
+		"lambda":    {Bench: "fft_2", Scale: 0.004, Options: &OptionsJSON{Lambda: 500}},
+		"scale":     {Bench: "fft_2", Scale: 0.005},
+		"bench":     {Bench: "fft_1", Scale: 0.004},
+		"method":    {Bench: "fft_2", Scale: 0.004, Method: "dac16"},
+		"resilient": {Bench: "fft_2", Scale: 0.004, Resilient: true},
+	} {
+		if err := req.validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if req.key() == k {
+			t.Errorf("changing %s must change the cache key", name)
+		}
+	}
+}
+
+// waitFor polls cond until it holds or the deadline expires.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}

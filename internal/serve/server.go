@@ -1,0 +1,447 @@
+// Package serve turns the one-shot legalizer into a resident batching
+// service: a bounded job queue with admission control, a worker pool driving
+// the existing context-aware solvers, a content-addressed result cache with
+// in-flight deduplication, and a Prometheus-text observability surface.
+//
+// Request lifecycle:
+//
+//	POST /v1/legalize ── validate ── cache lookup ──(hit)── 200 {cache:"hit"}
+//	        │                            │
+//	        │                       (in-flight join) ── wait ── 200 {cache:"hit"}
+//	        │                            │
+//	        │                        (leader) ── admit ──(queue full)── 429 + Retry-After
+//	        │                            │
+//	        └── worker: parse → solve → verify legal → cache store ── 200 {cache:"miss"}
+//
+// Failures map onto the mclgerr taxonomy: invalid input → 400, deadline /
+// cancellation → 504, queue saturation → 429, draining → 503, every other
+// solver failure → 422 with the error class in the body.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sync"
+	"time"
+
+	"mclg/internal/mclgerr"
+	"mclg/internal/serve/report"
+)
+
+// Config parameterizes the daemon. The zero value is usable: 2 pool
+// workers, queue capacity 8, 128 cached results, 2-minute job cap.
+type Config struct {
+	// Workers is the solve-pool size: how many jobs run concurrently.
+	Workers int
+	// QueueCap bounds the jobs admitted but not yet running; admission
+	// past it is refused with 429.
+	QueueCap int
+	// CacheCap bounds the result cache (entries); 0 means 128, negative
+	// disables caching (dedup of concurrent identical jobs still works).
+	CacheCap int
+	// DefaultJobTimeout applies when a request has no timeout_ms;
+	// MaxJobTimeout caps whatever the request asks for.
+	DefaultJobTimeout time.Duration
+	MaxJobTimeout     time.Duration
+	// MaxBodyBytes bounds an upload body; 0 means 64 MiB.
+	MaxBodyBytes int64
+	// Logger receives structured per-job logs; nil discards them.
+	Logger *slog.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 8
+	}
+	if c.CacheCap == 0 {
+		c.CacheCap = 128
+	}
+	if c.DefaultJobTimeout <= 0 {
+		c.DefaultJobTimeout = 60 * time.Second
+	}
+	if c.MaxJobTimeout <= 0 {
+		c.MaxJobTimeout = 2 * time.Minute
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	return c
+}
+
+// job is one admitted unit of work flowing from handler to worker.
+type job struct {
+	id     uint64
+	key    string
+	req    *Request
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	queuedAt time.Time
+	done     chan struct{} // closed by the worker after rep/err are set
+	rep      *report.Report
+	err      error
+}
+
+// Server is the batching legalization service. Create with New, mount
+// Handler on an http.Server, and call Drain on shutdown.
+type Server struct {
+	cfg   Config
+	cache *resultCache
+	stats *serverStats
+	log   *slog.Logger
+
+	queue chan *job
+
+	// baseCtx parents every job context so Drain's hard stop can cancel
+	// still-running solves through the usual cancellation paths.
+	baseCtx  context.Context
+	baseStop context.CancelFunc
+
+	mu       sync.Mutex // guards draining + admission vs. queue close
+	draining bool
+	jobsWG   sync.WaitGroup // admitted jobs not yet terminal
+	workers  sync.WaitGroup
+
+	jobSeq uint64
+	start  time.Time
+}
+
+// New builds and starts a server: the worker pool is live on return.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ctx, stop := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:      cfg,
+		cache:    newResultCache(cfg.CacheCap),
+		stats:    newServerStats(),
+		log:      cfg.Logger,
+		queue:    make(chan *job, cfg.QueueCap),
+		baseCtx:  ctx,
+		baseStop: stop,
+		start:    time.Now(),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.workers.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Handler returns the service's HTTP surface.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/legalize", s.handleLegalize)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// Drain gracefully stops the server: admission is closed immediately
+// (readyz flips to 503, new jobs get 503), queued and in-flight jobs run to
+// completion, and if ctx expires first the remaining jobs are canceled
+// through their contexts — they then terminate with typed canceled errors
+// rather than being abandoned, so no waiter hangs and no partial result is
+// cached. Drain returns nil on a clean drain and ctx.Err() on a hard stop.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	if !already {
+		close(s.queue) // safe: admission checks draining under mu before sending
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.jobsWG.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.baseStop() // hard stop: cancel remaining solves
+		<-done       // workers still publish canceled results to waiters
+	}
+	s.workers.Wait()
+	s.baseStop()
+	return err
+}
+
+// worker drains the queue until Drain closes it.
+func (s *Server) worker() {
+	defer s.workers.Done()
+	for j := range s.queue {
+		s.stats.queueDepth.add(-1)
+		s.runJob(j)
+	}
+}
+
+// runJob executes one admitted job and publishes the outcome to its waiters
+// and, on success, the cache.
+func (s *Server) runJob(j *job) {
+	defer s.jobsWG.Done()
+	defer j.cancel()
+	s.stats.inflight.add(1)
+	defer s.stats.inflight.add(-1)
+
+	queueWait := time.Since(j.queuedAt)
+	t0 := time.Now()
+
+	var rep *report.Report
+	err := mclgerr.FromContext(j.ctx)
+	var parseDur, solveDur time.Duration
+	if err == nil {
+		tp := time.Now()
+		d, derr := j.req.loadDesign()
+		parseDur = time.Since(tp)
+		s.stats.observeStage("parse", parseDur.Seconds())
+		if derr != nil {
+			err = mclgerr.Invalid(derr)
+		} else {
+			ts := time.Now()
+			rep, err = j.req.solve(j.ctx, d)
+			solveDur = time.Since(ts)
+			s.stats.observeStage("solve", solveDur.Seconds())
+		}
+	}
+	total := time.Since(t0)
+	s.stats.observeStage("total", total.Seconds())
+
+	class := mclgerr.Class(err)
+	s.stats.jobDone(class)
+	s.log.Info("job done",
+		"id", j.id,
+		"key", short(j.key),
+		"class", class,
+		"queue_ms", float64(queueWait)/float64(time.Millisecond),
+		"parse_ms", float64(parseDur)/float64(time.Millisecond),
+		"solve_ms", float64(solveDur)/float64(time.Millisecond),
+		"total_ms", float64(total)/float64(time.Millisecond),
+	)
+
+	j.rep, j.err = rep, err
+	close(j.done)
+}
+
+// errQueueFull / errDraining are admission-control refusals.
+var (
+	errQueueFull = errors.New("serve: queue at capacity")
+	errDraining  = errors.New("serve: server is draining")
+)
+
+// admit performs admission control: it either owns the job (nil) or refuses
+// with errQueueFull / errDraining without blocking.
+func (s *Server) admit(j *job) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		s.stats.rejectedDraining.inc()
+		return errDraining
+	}
+	select {
+	case s.queue <- j:
+		s.jobsWG.Add(1)
+		s.stats.queueDepth.add(1)
+		return nil
+	default:
+		s.stats.rejectedFull.inc()
+		return errQueueFull
+	}
+}
+
+func (s *Server) handleLegalize(w http.ResponseWriter, r *http.Request) {
+	if s.isDraining() {
+		s.refuse(w, http.StatusServiceUnavailable, "draining", "server is draining; resubmit elsewhere")
+		s.stats.rejectedDraining.inc()
+		return
+	}
+	var req Request
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.refuse(w, http.StatusBadRequest, "invalid_input", "malformed request body: "+err.Error())
+		return
+	}
+	if err := req.validate(); err != nil {
+		s.refuse(w, http.StatusBadRequest, "invalid_input", err.Error())
+		return
+	}
+
+	key := req.key()
+	if rep, ok := s.cache.lookup(key); ok {
+		s.cache.hits.inc()
+		s.respond(w, &req, rep, "hit")
+		return
+	}
+
+	fl, leader, rep := s.cache.join(key)
+	if rep != nil { // completed between lookup and join
+		s.cache.hits.inc()
+		s.respond(w, &req, rep, "hit")
+		return
+	}
+
+	timeout := s.jobTimeout(&req)
+	if !leader {
+		// Join the in-flight solve: same design + options, so the solved
+		// result is shared verbatim — one solve, N responses.
+		select {
+		case <-fl.done:
+			if fl.err != nil {
+				s.fail(w, fl.err)
+				return
+			}
+			s.cache.hits.inc()
+			s.respond(w, &req, fl.rep, "hit")
+		case <-time.After(timeout):
+			s.refuse(w, http.StatusGatewayTimeout, "canceled", "deadline expired waiting for the in-flight solve")
+		case <-r.Context().Done():
+			s.refuse(w, http.StatusGatewayTimeout, "canceled", "client went away")
+		}
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(s.baseCtx, timeout)
+	j := &job{
+		id:       s.nextID(),
+		key:      key,
+		req:      &req,
+		ctx:      ctx,
+		cancel:   cancel,
+		queuedAt: time.Now(),
+		done:     make(chan struct{}),
+	}
+	if err := s.admit(j); err != nil {
+		cancel()
+		s.cache.abort(key, fl, err)
+		s.fail(w, err)
+		return
+	}
+	s.log.Info("job admitted", "id", j.id, "key", short(key),
+		"bench", req.Bench, "scale", req.Scale, "method", req.Method,
+		"resilient", req.Resilient, "upload", len(req.Files) > 0,
+		"timeout", timeout.String())
+
+	// The worker closes j.done unconditionally; a client disconnect does
+	// not cancel the solve, because joined waiters may still want it.
+	<-j.done
+	if j.err != nil {
+		s.cache.abort(key, fl, j.err)
+		s.fail(w, j.err)
+		return
+	}
+	s.cache.misses.inc()
+	s.cache.complete(key, fl, j.rep)
+	s.respond(w, &req, j.rep, "miss")
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "ok uptime=%s\n", time.Since(s.start).Round(time.Second))
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.isDraining() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.stats.writePrometheus(w, s.cache)
+}
+
+// respond writes a success payload, cloning the shared report so the cache
+// flag and placement stripping never mutate a cached entry.
+func (s *Server) respond(w http.ResponseWriter, req *Request, rep *report.Report, cache string) {
+	out := *rep
+	out.Cache = cache
+	if !req.IncludePlacement {
+		out.Placement = nil
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(&out)
+}
+
+// errorBody is the JSON failure payload.
+type errorBody struct {
+	Error string `json:"error"`
+	Class string `json:"class"`
+}
+
+// fail maps an error onto the HTTP surface via its mclgerr class.
+func (s *Server) fail(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, errQueueFull):
+		w.Header().Set("Retry-After", "1")
+		s.refuse(w, http.StatusTooManyRequests, "queue_full", err.Error())
+	case errors.Is(err, errDraining):
+		s.refuse(w, http.StatusServiceUnavailable, "draining", err.Error())
+	case errors.Is(err, mclgerr.ErrInvalidInput):
+		s.refuse(w, http.StatusBadRequest, mclgerr.Class(err), err.Error())
+	case errors.Is(err, mclgerr.ErrCanceled):
+		s.refuse(w, http.StatusGatewayTimeout, mclgerr.Class(err), err.Error())
+	default:
+		s.refuse(w, http.StatusUnprocessableEntity, mclgerr.Class(err), err.Error())
+	}
+}
+
+func (s *Server) refuse(w http.ResponseWriter, status int, class, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(errorBody{Error: msg, Class: class})
+}
+
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+func (s *Server) jobTimeout(req *Request) time.Duration {
+	t := s.cfg.DefaultJobTimeout
+	if req.TimeoutMS > 0 {
+		t = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if t > s.cfg.MaxJobTimeout {
+		t = s.cfg.MaxJobTimeout
+	}
+	return t
+}
+
+func (s *Server) nextID() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.jobSeq++
+	return s.jobSeq
+}
+
+// short abbreviates a cache key for logs.
+func short(key string) string {
+	if len(key) > 12 {
+		return key[:12]
+	}
+	return key
+}

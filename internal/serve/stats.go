@@ -1,0 +1,166 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"mclg/internal/mclgerr"
+)
+
+// counter is a monotonically increasing uint64.
+type counter struct{ v atomic.Uint64 }
+
+func (c *counter) inc()        { c.v.Add(1) }
+func (c *counter) get() uint64 { return c.v.Load() }
+
+// gauge is a signed instantaneous value (queue depth, in-flight jobs).
+type gauge struct{ v atomic.Int64 }
+
+func (g *gauge) add(d int64) { g.v.Add(d) }
+func (g *gauge) get() int64  { return g.v.Load() }
+
+// stageBuckets are the upper bounds (seconds) of the per-stage latency
+// histograms: 1 ms to 60 s, roughly ×2.5 per step — wide enough to cover
+// both a cache-warm parse and a full superblue solve.
+var stageBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// histogram is a fixed-bucket latency histogram in Prometheus semantics:
+// counts[i] observations ≤ stageBuckets[i], plus a +Inf overflow.
+type histogram struct {
+	mu     sync.Mutex
+	counts []uint64
+	inf    uint64
+	sum    float64
+	total  uint64
+}
+
+func newHistogram() *histogram {
+	return &histogram{counts: make([]uint64, len(stageBuckets))}
+}
+
+func (h *histogram) observe(seconds float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for i, ub := range stageBuckets {
+		if seconds <= ub {
+			h.counts[i]++
+		}
+	}
+	h.inf++
+	h.sum += seconds
+	h.total++
+}
+
+// serverStats is the daemon's observability registry. Everything it exposes
+// is required by the serving contract: queue depth, in-flight jobs, cache
+// traffic, admission rejections, terminal jobs by mclgerr class, and
+// per-stage latency histograms.
+type serverStats struct {
+	queueDepth gauge
+	inflight   gauge
+
+	rejectedFull     counter // 429: queue at capacity
+	rejectedDraining counter // 503: submitted during drain
+
+	jobs sync.Map // class string -> *counter
+
+	stages sync.Map // stage string -> *histogram
+}
+
+func newServerStats() *serverStats {
+	s := &serverStats{}
+	// Pre-register every class and stage so the series exist (at zero)
+	// from the first scrape — dashboards should never see gaps appear.
+	for _, class := range mclgerr.Classes() {
+		s.jobs.Store(class, &counter{})
+	}
+	for _, st := range []string{"parse", "solve", "total"} {
+		s.stages.Store(st, newHistogram())
+	}
+	return s
+}
+
+func (s *serverStats) jobDone(class string) {
+	c, _ := s.jobs.LoadOrStore(class, &counter{})
+	c.(*counter).inc()
+}
+
+func (s *serverStats) observeStage(stage string, seconds float64) {
+	h, _ := s.stages.LoadOrStore(stage, newHistogram())
+	h.(*histogram).observe(seconds)
+}
+
+// writePrometheus renders the registry (and the cache's counters) in the
+// Prometheus text exposition format, series sorted for scrape stability.
+func (s *serverStats) writePrometheus(w io.Writer, cache *resultCache) {
+	entries, hits, misses, evictions := cache.stats()
+
+	fmt.Fprintf(w, "# HELP mclgd_queue_depth Jobs admitted but not yet picked up by a worker.\n")
+	fmt.Fprintf(w, "# TYPE mclgd_queue_depth gauge\n")
+	fmt.Fprintf(w, "mclgd_queue_depth %d\n", s.queueDepth.get())
+	fmt.Fprintf(w, "# HELP mclgd_inflight_jobs Jobs currently being solved.\n")
+	fmt.Fprintf(w, "# TYPE mclgd_inflight_jobs gauge\n")
+	fmt.Fprintf(w, "mclgd_inflight_jobs %d\n", s.inflight.get())
+
+	fmt.Fprintf(w, "# HELP mclgd_cache_entries Completed results resident in the LRU.\n")
+	fmt.Fprintf(w, "# TYPE mclgd_cache_entries gauge\n")
+	fmt.Fprintf(w, "mclgd_cache_entries %d\n", entries)
+	fmt.Fprintf(w, "# HELP mclgd_cache_hits_total Requests served without a new solve (store hit or in-flight join).\n")
+	fmt.Fprintf(w, "# TYPE mclgd_cache_hits_total counter\n")
+	fmt.Fprintf(w, "mclgd_cache_hits_total %d\n", hits)
+	fmt.Fprintf(w, "# HELP mclgd_cache_misses_total Requests that required a new solve.\n")
+	fmt.Fprintf(w, "# TYPE mclgd_cache_misses_total counter\n")
+	fmt.Fprintf(w, "mclgd_cache_misses_total %d\n", misses)
+	fmt.Fprintf(w, "# HELP mclgd_cache_evictions_total LRU entries dropped past capacity.\n")
+	fmt.Fprintf(w, "# TYPE mclgd_cache_evictions_total counter\n")
+	fmt.Fprintf(w, "mclgd_cache_evictions_total %d\n", evictions)
+
+	fmt.Fprintf(w, "# HELP mclgd_rejected_total Admissions refused, by reason.\n")
+	fmt.Fprintf(w, "# TYPE mclgd_rejected_total counter\n")
+	fmt.Fprintf(w, "mclgd_rejected_total{reason=\"queue_full\"} %d\n", s.rejectedFull.get())
+	fmt.Fprintf(w, "mclgd_rejected_total{reason=\"draining\"} %d\n", s.rejectedDraining.get())
+
+	fmt.Fprintf(w, "# HELP mclgd_jobs_total Terminal jobs by mclgerr class (ok = verified legal).\n")
+	fmt.Fprintf(w, "# TYPE mclgd_jobs_total counter\n")
+	for _, class := range sortedKeys(&s.jobs) {
+		c, _ := s.jobs.Load(class)
+		fmt.Fprintf(w, "mclgd_jobs_total{class=%q} %d\n", class, c.(*counter).get())
+	}
+
+	fmt.Fprintf(w, "# HELP mclgd_stage_seconds Per-stage job latency.\n")
+	fmt.Fprintf(w, "# TYPE mclgd_stage_seconds histogram\n")
+	for _, stage := range sortedKeys(&s.stages) {
+		v, _ := s.stages.Load(stage)
+		h := v.(*histogram)
+		h.mu.Lock()
+		for i, ub := range stageBuckets {
+			fmt.Fprintf(w, "mclgd_stage_seconds_bucket{stage=%q,le=%q} %d\n", stage, trimFloat(ub), h.counts[i])
+		}
+		fmt.Fprintf(w, "mclgd_stage_seconds_bucket{stage=%q,le=\"+Inf\"} %d\n", stage, h.inf)
+		fmt.Fprintf(w, "mclgd_stage_seconds_sum{stage=%q} %g\n", stage, h.sum)
+		fmt.Fprintf(w, "mclgd_stage_seconds_count{stage=%q} %d\n", stage, h.total)
+		h.mu.Unlock()
+	}
+}
+
+func sortedKeys(m *sync.Map) []string {
+	var keys []string
+	m.Range(func(k, _ any) bool {
+		keys = append(keys, k.(string))
+		return true
+	})
+	sort.Strings(keys)
+	return keys
+}
+
+// trimFloat formats a bucket bound the way Prometheus clients expect
+// (no exponent, no trailing zeros).
+func trimFloat(v float64) string {
+	return fmt.Sprintf("%g", v)
+}
