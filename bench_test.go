@@ -58,6 +58,7 @@ func BenchmarkTable1IllegalCells(b *testing.B) {
 	for _, name := range benchSuite {
 		b.Run(name, func(b *testing.B) {
 			base := genBench(b, name, benchScale)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				d := base.Clone()
@@ -97,6 +98,7 @@ func BenchmarkTable2Legalizers(b *testing.B) {
 		base := genBench(b, name, benchScale)
 		for _, m := range methods {
 			b.Run(fmt.Sprintf("%s/%s", name, m.name), func(b *testing.B) {
+				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					d := base.Clone()
 					if err := m.run(d); err != nil {
@@ -125,6 +127,7 @@ func BenchmarkWorkersScaling(b *testing.B) {
 			name = "workers=all"
 		}
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				d := base.Clone()
 				if _, err := core.New(core.Options{Workers: w}).Legalize(d); err != nil {
@@ -384,6 +387,7 @@ func BenchmarkTetrisAllocate(b *testing.B) {
 	if _, err := core.New(core.Options{SkipTetris: true}).Legalize(pre); err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		d := pre.Clone()
@@ -410,6 +414,7 @@ func BenchmarkMMSIMIteration(b *testing.B) {
 			opts := core.New(core.Options{}).Opts
 			opts.MaxIter = 0
 			opts.OnIter = func(k int, dz float64) { iters++ }
+			b.ReportAllocs()
 			b.ResetTimer()
 			// One full solve per b.N batch; report time per iteration.
 			for i := 0; i < b.N; i++ {
@@ -583,4 +588,75 @@ func BenchmarkScaleSweep(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkMMSIMSteadyState pins the steady-state cost of one MMSIM
+// iteration on a caller-owned workspace: after the warm-up step the hot
+// loop must run at 0 allocs/op (the alloc-smoke CI gate feeds this
+// benchmark to benchdiff -gate allocs).
+func BenchmarkMMSIMSteadyState(b *testing.B) {
+	d := genBench(b, "fft_2", benchScale)
+	if err := core.AssignRows(d); err != nil {
+		b.Fatal(err)
+	}
+	p, err := core.BuildProblem(d, 1000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sp, err := core.NewStructuredSplittingOmegaR(p, 0.5, 0.5, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prob := &lcp.Problem{A: p.AssembleLCPMatrix(), Q: p.LCPVector()}
+	ws := lcp.NewWorkspace(p.NumVars + p.NumCons)
+	sv, err := lcp.NewSolver(prob, sp, lcp.Options{Workers: 1, Workspace: ws, MaxIter: 1 << 30})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// One warm-up step lets lazy runtime state (stack growth) settle, as
+	// it would after the first iteration of any production solve.
+	if _, err := sv.Step(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sv.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWarmResolve measures the sweep-mode pattern mclgd serves: a
+// WarmState primed by one cold solve accelerates re-solves of a slightly
+// perturbed instance. The warm-iters/cold-iters metrics expose the
+// iteration savings the warm seed buys.
+func BenchmarkWarmResolve(b *testing.B) {
+	base := genBench(b, "fft_2", benchScale)
+	warm := core.NewWarmState()
+	lg := core.New(core.Options{Workers: 1, SkipTetris: true})
+	lg.Opts.Warm = warm
+	if _, err := lg.Legalize(base.Clone()); err != nil {
+		b.Fatal(err)
+	}
+	pert := base.Clone()
+	rng := rand.New(rand.NewSource(99))
+	for _, c := range pert.Cells {
+		if !c.Fixed {
+			c.GX += (rng.Float64()*2 - 1) * 1e-3
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var warmIters int
+	for i := 0; i < b.N; i++ {
+		st, err := lg.Legalize(pert.Clone())
+		if err != nil {
+			b.Fatal(err)
+		}
+		warmIters = st.Iterations
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(warmIters), "warm-iters")
+	b.ReportMetric(float64(warm.ColdIterations()), "cold-iters")
 }

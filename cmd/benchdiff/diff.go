@@ -6,21 +6,41 @@ import (
 	"sort"
 )
 
+// gateSpec selects which metrics fail the run; the others are report-only.
+type gateSpec struct {
+	ns, allocs bool
+}
+
+func parseGate(s string) (gateSpec, error) {
+	switch s {
+	case "ns":
+		return gateSpec{ns: true}, nil
+	case "allocs":
+		return gateSpec{allocs: true}, nil
+	case "both":
+		return gateSpec{ns: true, allocs: true}, nil
+	}
+	return gateSpec{}, fmt.Errorf("benchdiff: unknown -gate %q (want ns, allocs, or both)", s)
+}
+
 // diffSummary is the outcome of one baseline/current comparison.
 type diffSummary struct {
-	Regressed int // benchmarks beyond the threshold — the only gate failures
+	Regressed int // benchmarks beyond a gated threshold — the only gate failures
 	New       int // in current but missing from the baseline (reported, never fail)
 	Missing   int // in the baseline but absent from current (reported, never fail)
 	Compared  int // present in both
 }
 
 // compare reports every benchmark of baseline and current against each
-// other. Only regressions beyond threshold count against the gate:
-// benchmarks missing from the baseline are "new" (a freshly added
-// benchmark — e.g. a server benchmark — must not break the perf gate until
-// the baseline is regenerated), and benchmarks missing from the current run
-// are "missing" (a renamed or filtered-out benchmark; update the baseline).
-func compare(baseline, current map[string]float64, threshold float64, w io.Writer) diffSummary {
+// other. Only regressions of a gated metric beyond its threshold count
+// against the gate: benchmarks missing from the baseline are "new" (a
+// freshly added benchmark must not break the perf gate until the baseline is
+// regenerated), benchmarks missing from the current run are "missing"
+// (renamed or filtered out; update the baseline), and a metric present in
+// only one side — an old ns-only baseline against a -benchmem run — is
+// report-only by the same contract: new metrics never fail until the
+// baseline records them.
+func compare(baseline, current map[string]benchResult, nsThreshold, allocThreshold float64, gate gateSpec, w io.Writer) diffSummary {
 	var sum diffSummary
 
 	names := make([]string, 0, len(baseline))
@@ -33,17 +53,41 @@ func compare(baseline, current map[string]float64, threshold float64, w io.Write
 		cur, ok := current[name]
 		if !ok {
 			sum.Missing++
-			fmt.Fprintf(w, "MISSING  %-60s baseline %.0f ns/op, absent from current run\n", name, base)
+			fmt.Fprintf(w, "MISSING  %-60s baseline %.0f ns/op, absent from current run\n", name, base.NS)
 			continue
 		}
 		sum.Compared++
-		delta := cur/base - 1
+
+		delta := cur.NS/base.NS - 1
 		status := "ok      "
-		if delta > threshold {
+		if delta > nsThreshold {
 			status = "REGRESS "
-			sum.Regressed++
+			if gate.ns {
+				sum.Regressed++
+			}
 		}
-		fmt.Fprintf(w, "%s %-60s %14.0f -> %14.0f ns/op  (%+.1f%%)\n", status, name, base, cur, 100*delta)
+		fmt.Fprintf(w, "%s %-60s %14.0f -> %14.0f ns/op  (%+.1f%%)\n", status, name, base.NS, cur.NS, 100*delta)
+
+		switch {
+		case base.HasAllocs && cur.HasAllocs:
+			// Allocation counts are near-deterministic, so the gate is
+			// absolute growth past the threshold fraction; a 0-alloc
+			// baseline regresses on the first allocation.
+			status := "ok      "
+			if cur.Allocs > base.Allocs*(1+allocThreshold) && cur.Allocs > base.Allocs {
+				status = "REGRESS "
+				if gate.allocs {
+					sum.Regressed++
+				}
+			}
+			fmt.Fprintf(w, "%s %-60s %14.0f -> %14.0f allocs/op\n", status, name, base.Allocs, cur.Allocs)
+		case cur.HasAllocs:
+			fmt.Fprintf(w, "NEWMETRIC %-59s %14.0f allocs/op (baseline has no allocs; refresh it to gate)\n",
+				name, cur.Allocs)
+		case base.HasAllocs && gate.allocs:
+			fmt.Fprintf(w, "NOMETRIC %-60s baseline has %0.f allocs/op but current run lacks -benchmem\n",
+				name, base.Allocs)
+		}
 	}
 
 	extra := make([]string, 0)
@@ -56,7 +100,7 @@ func compare(baseline, current map[string]float64, threshold float64, w io.Write
 	for _, name := range extra {
 		sum.New++
 		fmt.Fprintf(w, "NEW      %-60s %14.0f ns/op (not in baseline; add with the next baseline refresh)\n",
-			name, current[name])
+			name, current[name].NS)
 	}
 	if sum.New > 0 || sum.Missing > 0 {
 		fmt.Fprintf(w, "benchdiff: %d compared, %d new, %d missing (new/missing never fail the gate)\n",

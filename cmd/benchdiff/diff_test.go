@@ -5,12 +5,23 @@ import (
 	"testing"
 )
 
+// ns builds an ns-only result map (no allocs metric), the pre--benchmem shape.
+func ns(pairs map[string]float64) map[string]benchResult {
+	out := map[string]benchResult{}
+	for name, v := range pairs {
+		out[name] = benchResult{NS: v}
+	}
+	return out
+}
+
+var gateNS = gateSpec{ns: true}
+
 func TestCompareRegression(t *testing.T) {
 	var out strings.Builder
 	sum := compare(
-		map[string]float64{"BenchmarkA": 100, "BenchmarkB": 100},
-		map[string]float64{"BenchmarkA": 130, "BenchmarkB": 110},
-		0.25, &out)
+		ns(map[string]float64{"BenchmarkA": 100, "BenchmarkB": 100}),
+		ns(map[string]float64{"BenchmarkA": 130, "BenchmarkB": 110}),
+		0.25, 0.10, gateNS, &out)
 	if sum.Regressed != 1 {
 		t.Errorf("Regressed = %d, want 1", sum.Regressed)
 	}
@@ -29,13 +40,13 @@ func TestCompareRegression(t *testing.T) {
 func TestCompareNewBenchmarksNeverFail(t *testing.T) {
 	var out strings.Builder
 	sum := compare(
-		map[string]float64{"BenchmarkOld": 100},
-		map[string]float64{
+		ns(map[string]float64{"BenchmarkOld": 100}),
+		ns(map[string]float64{
 			"BenchmarkOld":              100,
 			"BenchmarkServeLegalize":    12345,
 			"BenchmarkServeCacheLookup": 99999999, // arbitrarily slow — still must not fail
-		},
-		0.25, &out)
+		}),
+		0.25, 0.10, gateNS, &out)
 	if sum.Regressed != 0 {
 		t.Fatalf("Regressed = %d, want 0 — new benchmarks must not fail the gate\n%s",
 			sum.Regressed, out.String())
@@ -60,9 +71,9 @@ func TestCompareNewBenchmarksNeverFail(t *testing.T) {
 func TestCompareMissingBenchmarksNeverFail(t *testing.T) {
 	var out strings.Builder
 	sum := compare(
-		map[string]float64{"BenchmarkOld": 100, "BenchmarkGone": 50},
-		map[string]float64{"BenchmarkOld": 100},
-		0.25, &out)
+		ns(map[string]float64{"BenchmarkOld": 100, "BenchmarkGone": 50}),
+		ns(map[string]float64{"BenchmarkOld": 100}),
+		0.25, 0.10, gateNS, &out)
 	if sum.Regressed != 0 {
 		t.Errorf("Regressed = %d, want 0", sum.Regressed)
 	}
@@ -77,10 +88,69 @@ func TestCompareMissingBenchmarksNeverFail(t *testing.T) {
 func TestCompareDisjointSetsOnlyReport(t *testing.T) {
 	var out strings.Builder
 	sum := compare(
-		map[string]float64{"BenchmarkA": 100},
-		map[string]float64{"BenchmarkB": 100},
-		0.25, &out)
+		ns(map[string]float64{"BenchmarkA": 100}),
+		ns(map[string]float64{"BenchmarkB": 100}),
+		0.25, 0.10, gateNS, &out)
 	if sum.Regressed != 0 || sum.Compared != 0 || sum.New != 1 || sum.Missing != 1 {
 		t.Errorf("summary = %+v, want 0 regressed/compared, 1 new, 1 missing", sum)
+	}
+}
+
+// TestCompareAllocGate pins the allocs/op gate: a zero-alloc baseline fails
+// on the first allocation, growth within the threshold passes, and with the
+// ns-only gate the same regression is report-only.
+func TestCompareAllocGate(t *testing.T) {
+	baseline := map[string]benchResult{
+		"BenchmarkSteady": {NS: 1000, Allocs: 0, HasAllocs: true},
+		"BenchmarkSome":   {NS: 1000, Allocs: 100, HasAllocs: true},
+	}
+	current := map[string]benchResult{
+		"BenchmarkSteady": {NS: 1000, Allocs: 2, HasAllocs: true},
+		"BenchmarkSome":   {NS: 1000, Allocs: 105, HasAllocs: true}, // +5% < 10%
+	}
+	var out strings.Builder
+	sum := compare(baseline, current, 0.25, 0.10, gateSpec{allocs: true}, &out)
+	if sum.Regressed != 1 {
+		t.Fatalf("Regressed = %d, want 1 (0 -> 2 allocs/op)\n%s", sum.Regressed, out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESS  BenchmarkSteady") {
+		t.Errorf("output missing alloc regression line:\n%s", out.String())
+	}
+
+	out.Reset()
+	if sum := compare(baseline, current, 0.25, 0.10, gateNS, &out); sum.Regressed != 0 {
+		t.Errorf("ns-only gate: Regressed = %d, want 0 (alloc regressions report-only)", sum.Regressed)
+	}
+}
+
+// TestCompareAllocsAgainstNSOnlyBaseline pins the new-metric contract from
+// the PR that introduced the perf gate: a metric the baseline does not carry
+// is reported but can never fail, even when gated.
+func TestCompareAllocsAgainstNSOnlyBaseline(t *testing.T) {
+	var out strings.Builder
+	sum := compare(
+		ns(map[string]float64{"BenchmarkOld": 100}),
+		map[string]benchResult{"BenchmarkOld": {NS: 100, Allocs: 12345, HasAllocs: true}},
+		0.25, 0.10, gateSpec{ns: true, allocs: true}, &out)
+	if sum.Regressed != 0 {
+		t.Fatalf("Regressed = %d, want 0 — allocs absent from baseline must not fail\n%s",
+			sum.Regressed, out.String())
+	}
+	if !strings.Contains(out.String(), "NEWMETRIC") {
+		t.Errorf("output missing NEWMETRIC line:\n%s", out.String())
+	}
+}
+
+func TestParseGate(t *testing.T) {
+	for s, want := range map[string]gateSpec{
+		"ns": {ns: true}, "allocs": {allocs: true}, "both": {ns: true, allocs: true},
+	} {
+		got, err := parseGate(s)
+		if err != nil || got != want {
+			t.Errorf("parseGate(%q) = %+v, %v; want %+v", s, got, err, want)
+		}
+	}
+	if _, err := parseGate("bogus"); err == nil {
+		t.Error("parseGate(\"bogus\") did not fail")
 	}
 }

@@ -1,8 +1,14 @@
 // Command benchdiff compares a go test -bench -json run against a committed
-// baseline and fails when any benchmark regressed beyond the threshold.
+// baseline and fails when any gated metric regressed beyond its threshold.
 //
-//	go test -run '^$' -bench=. -benchtime=1x -json . > /tmp/bench.json
+//	go test -run '^$' -bench=. -benchtime=1x -benchmem -json . > /tmp/bench.json
 //	go run ./cmd/benchdiff -baseline BENCH_baseline.json -current /tmp/bench.json
+//
+// Two metrics are tracked: ns/op (always present) and allocs/op (present in
+// -benchmem runs). -gate selects which of them fail the run; the other is
+// report-only, as is any metric present on only one side — an ns-only
+// baseline never fails an allocs comparison until it is regenerated with
+// -benchmem.
 //
 // The exit status is 1 on regression (unless -advisory), 2 on usage or
 // parse errors. Benchmarks present only in one input are reported but never
@@ -22,10 +28,16 @@ func main() {
 		baselinePath = flag.String("baseline", "BENCH_baseline.json", "committed baseline test2json file")
 		currentPath  = flag.String("current", "-", "test2json stream to check ('-' = stdin)")
 		threshold    = flag.Float64("threshold", 0.25, "fail when ns/op grows more than this fraction over baseline")
+		allocThresh  = flag.Float64("alloc-threshold", 0.10, "fail when allocs/op grows more than this fraction over baseline (0 allocs baseline fails on any allocation)")
+		gateFlag     = flag.String("gate", "ns", "which metrics fail the run: ns, allocs, or both (ungated metrics are report-only)")
 		advisory     = flag.Bool("advisory", false, "report regressions but always exit 0 (for noisy shared runners)")
 	)
 	flag.Parse()
 
+	gate, err := parseGate(*gateFlag)
+	if err != nil {
+		fatal(err)
+	}
 	baseline, err := parseFile(*baselinePath)
 	if err != nil {
 		fatal(err)
@@ -41,9 +53,9 @@ func main() {
 		fatal(fmt.Errorf("benchdiff: no benchmark results in current input"))
 	}
 
-	sum := compare(baseline, current, *threshold, os.Stdout)
+	sum := compare(baseline, current, *threshold, *allocThresh, gate, os.Stdout)
 	if sum.Regressed > 0 {
-		fmt.Printf("benchdiff: %d benchmark(s) regressed beyond %.0f%%\n", sum.Regressed, 100**threshold)
+		fmt.Printf("benchdiff: %d benchmark metric(s) regressed beyond threshold\n", sum.Regressed)
 		if !*advisory {
 			os.Exit(1)
 		}
@@ -51,7 +63,7 @@ func main() {
 	}
 }
 
-func parseFile(path string) (map[string]float64, error) {
+func parseFile(path string) (map[string]benchResult, error) {
 	var r io.Reader
 	if path == "-" {
 		r = os.Stdin

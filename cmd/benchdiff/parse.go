@@ -17,24 +17,38 @@ type testEvent struct {
 	Output string `json:"Output"`
 }
 
+// benchResult is one benchmark's parsed measurements. Allocs is only
+// meaningful when HasAllocs is set: it requires a -benchmem run, and
+// baselines recorded before -benchmem carry ns/op only.
+type benchResult struct {
+	NS        float64
+	Allocs    float64
+	HasAllocs bool
+}
+
 // benchResultRe matches one reassembled benchmark result line, e.g.
 //
 //	BenchmarkTable2Legalizers/fft_2/Ours-8   1   4577919 ns/op   0.31 illegal-%
+//	BenchmarkMMSIMSteadyState-8   12345   98765 ns/op   0 B/op   0 allocs/op
 //
-// capturing the name (with the optional -GOMAXPROCS suffix still attached)
-// and the ns/op value.
-var benchResultRe = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.e+]+) ns/op`)
+// capturing the name (with the optional -GOMAXPROCS suffix still attached),
+// the ns/op value, and the rest of the line for the metric scan.
+var benchResultRe = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.e+]+) ns/op(.*)$`)
+
+// allocsRe extracts the -benchmem allocations metric from the tail of a
+// result line.
+var allocsRe = regexp.MustCompile(`([0-9.e+]+) allocs/op`)
 
 // gomaxprocsSuffixRe strips the trailing -N the benchmark runner appends when
 // GOMAXPROCS > 1, so baselines recorded on different machines compare by
 // benchmark identity.
 var gomaxprocsSuffixRe = regexp.MustCompile(`-\d+$`)
 
-// parseBench reads a test2json stream and returns ns/op keyed by normalized
-// benchmark name. test2json splits a result line into separate events (the
-// name fragment has no trailing newline), so output fragments are
+// parseBench reads a test2json stream and returns the measurements keyed by
+// normalized benchmark name. test2json splits a result line into separate
+// events (the name fragment has no trailing newline), so output fragments are
 // concatenated first and then split back into real lines.
-func parseBench(r io.Reader) (map[string]float64, error) {
+func parseBench(r io.Reader) (map[string]benchResult, error) {
 	var sb strings.Builder
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
@@ -54,7 +68,7 @@ func parseBench(r io.Reader) (map[string]float64, error) {
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
-	out := map[string]float64{}
+	out := map[string]benchResult{}
 	for _, line := range strings.Split(sb.String(), "\n") {
 		m := benchResultRe.FindStringSubmatch(strings.TrimSpace(line))
 		if m == nil {
@@ -64,7 +78,14 @@ func parseBench(r io.Reader) (map[string]float64, error) {
 		if err != nil {
 			continue
 		}
-		out[gomaxprocsSuffixRe.ReplaceAllString(m[1], "")] = ns
+		res := benchResult{NS: ns}
+		if am := allocsRe.FindStringSubmatch(m[3]); am != nil {
+			if allocs, err := strconv.ParseFloat(am[1], 64); err == nil {
+				res.Allocs = allocs
+				res.HasAllocs = true
+			}
+		}
+		out[gomaxprocsSuffixRe.ReplaceAllString(m[1], "")] = res
 	}
 	return out, nil
 }

@@ -29,8 +29,11 @@ func TestParseBench(t *testing.T) {
 		t.Fatalf("parsed %d results (%v), want %d", len(got), got, len(want))
 	}
 	for name, ns := range want {
-		if got[name] != ns {
-			t.Errorf("%s = %g, want %g", name, got[name], ns)
+		if got[name].NS != ns {
+			t.Errorf("%s = %g, want %g", name, got[name].NS, ns)
+		}
+		if got[name].HasAllocs {
+			t.Errorf("%s: HasAllocs without -benchmem output", name)
 		}
 	}
 }
@@ -41,8 +44,31 @@ func TestParseBenchStripsGomaxprocsSuffix(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got["BenchmarkX/sub"] != 1000 {
+	if got["BenchmarkX/sub"].NS != 1000 {
 		t.Fatalf("suffix not stripped: %v", got)
+	}
+}
+
+// TestParseBenchAllocs pins the -benchmem extension: the allocs/op column is
+// captured when present (B/op is skipped), including an exact zero.
+func TestParseBenchAllocs(t *testing.T) {
+	got, err := parseBench(strings.NewReader(
+		`{"Action":"output","Output":"BenchmarkMem-8 \t 100\t 5000 ns/op\t 1024 B/op\t 17 allocs/op\n"}` + "\n" +
+			`{"Action":"output","Output":"BenchmarkZero-8 \t 100\t 900 ns/op\t 0 B/op\t 0 allocs/op\n"}` + "\n" +
+			`{"Action":"output","Output":"BenchmarkPlain-8 \t 100\t 800 ns/op\n"}` + "\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := got["BenchmarkMem"]
+	if !mem.HasAllocs || mem.Allocs != 17 || mem.NS != 5000 {
+		t.Errorf("BenchmarkMem = %+v, want 5000 ns/op, 17 allocs/op", mem)
+	}
+	zero := got["BenchmarkZero"]
+	if !zero.HasAllocs || zero.Allocs != 0 {
+		t.Errorf("BenchmarkZero = %+v, want HasAllocs with 0 allocs/op", zero)
+	}
+	if got["BenchmarkPlain"].HasAllocs {
+		t.Errorf("BenchmarkPlain = %+v, want no allocs metric", got["BenchmarkPlain"])
 	}
 }
 

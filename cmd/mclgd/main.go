@@ -17,6 +17,7 @@ import (
 	"log/slog"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // handlers served only behind the -pprof flag
 	"os"
 	"os/signal"
 	"syscall"
@@ -31,6 +32,8 @@ func main() {
 		pool         = flag.Int("pool", 2, "worker pool size (concurrent solves)")
 		queueCap     = flag.Int("queue", 8, "job queue capacity (admissions past it get 429)")
 		cacheCap     = flag.Int("cache", 128, "result cache capacity in entries (negative disables)")
+		warmCap      = flag.Int("warm-cache", 32, "warm-start store capacity in topologies (negative disables)")
+		pprofOn      = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (off by default)")
 		jobTimeout   = flag.Duration("job-timeout", 60*time.Second, "default per-job deadline (requests may shorten it)")
 		maxJobTime   = flag.Duration("max-job-timeout", 2*time.Minute, "hard cap on any per-job deadline")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight jobs on SIGTERM before they are canceled")
@@ -42,6 +45,7 @@ func main() {
 		Workers:           *pool,
 		QueueCap:          *queueCap,
 		CacheCap:          *cacheCap,
+		WarmCap:           *warmCap,
 		DefaultJobTimeout: *jobTimeout,
 		MaxJobTimeout:     *maxJobTime,
 		Logger:            logger,
@@ -52,9 +56,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mclgd:", err)
 		os.Exit(2)
 	}
-	httpSrv := &http.Server{Handler: srv.Handler()}
+	handler := srv.Handler()
+	if *pprofOn {
+		// The pprof handlers register themselves on http.DefaultServeMux at
+		// import time; mounting that mux under /debug/ keeps the profiling
+		// surface opt-in and the service mux otherwise untouched.
+		mux := http.NewServeMux()
+		mux.Handle("/debug/", http.DefaultServeMux)
+		mux.Handle("/", handler)
+		handler = mux
+		logger.Info("pprof enabled", "path", "/debug/pprof/")
+	}
+	httpSrv := &http.Server{Handler: handler}
 	logger.Info("mclgd listening", "addr", ln.Addr().String(),
-		"pool", *pool, "queue", *queueCap, "cache", *cacheCap)
+		"pool", *pool, "queue", *queueCap, "cache", *cacheCap, "warm", *warmCap)
 
 	errCh := make(chan error, 1)
 	go func() {

@@ -9,6 +9,7 @@ import (
 	"mclg/internal/design"
 	"mclg/internal/lcp"
 	"mclg/internal/mclgerr"
+	"mclg/internal/sparse"
 	"mclg/internal/tetris"
 )
 
@@ -77,6 +78,16 @@ type Options struct {
 	// count produces bit-identical placements — see internal/par and
 	// DESIGN.md's "Parallel decomposition & determinism".
 	Workers int
+
+	// Warm, when non-nil, carries cached solver state across repeated
+	// solves: when the problem's structure signature matches the cached
+	// one, the solve reuses the assembled LCP matrix and splitting
+	// factorizations and seeds the MMSIM from the previous solution (see
+	// WarmState). The fallback rungs of the resilient cascade always run
+	// cold — retuned parameters invalidate the cached splitting, and a
+	// rescue solve must not inherit state from the configuration that just
+	// failed.
+	Warm *WarmState
 }
 
 // DefaultOptions returns the paper's parameters.
@@ -156,6 +167,13 @@ type Stats struct {
 
 	Illegal  int // illegal cells repaired by the Tetris stage
 	Unplaced int // cells the Tetris stage could not place (should be 0)
+
+	// WarmReused reports that the solve reused cached factorizations from
+	// Options.Warm (structure signature match); WarmSeeded additionally
+	// reports that the MMSIM started from the previous solution's
+	// modulus-transform seed.
+	WarmReused bool
+	WarmSeeded bool
 
 	BuildTime  time.Duration
 	SolveTime  time.Duration
@@ -240,6 +258,8 @@ func (l *Legalizer) LegalizeContext(ctx context.Context, d *design.Design) (*Sta
 	stats.Converged = solveStats.Converged
 	stats.ThetaUsed = solveStats.ThetaUsed
 	stats.ThetaBound = solveStats.ThetaBound
+	stats.WarmReused = solveStats.WarmReused
+	stats.WarmSeeded = solveStats.WarmSeeded
 	stats.SolveTime = time.Since(t1)
 
 	stats.MaxSubcellMismatch = Restore(p, x)
@@ -263,6 +283,13 @@ type SolveStats struct {
 	Converged  bool
 	ThetaUsed  float64
 	ThetaBound float64
+
+	// WarmReused: the cached LCP matrix and splitting from Options.Warm
+	// were reused (structure signature match). WarmSeeded: the iteration
+	// additionally started from the previous solution's modulus-transform
+	// seed rather than the GP warm start.
+	WarmReused bool
+	WarmSeeded bool
 }
 
 // SolveMMSIM assembles the LCP for an already-built problem and runs the
@@ -273,62 +300,115 @@ func SolveMMSIM(p *Problem, opts Options) ([]float64, *SolveStats, error) {
 }
 
 // SolveMMSIMContext is SolveMMSIM with cooperative cancellation in the
-// MMSIM hot loop.
+// MMSIM hot loop. With opts.Warm set, consecutive solves of
+// structure-identical problems reuse the cached LCP matrix, splitting
+// factorizations, and resolved θ*, and seed the iteration from the
+// previous solution (see WarmState); the warm path changes only the
+// starting iterate, never the fixed point the iteration converges to.
 func SolveMMSIMContext(ctx context.Context, p *Problem, opts Options) ([]float64, *SolveStats, error) {
 	st := &SolveStats{ThetaUsed: opts.Theta}
 	if p.NumVars == 0 {
 		st.Converged = true
 		return nil, st, nil
 	}
-	theta := opts.Theta
-	omegaR := opts.OmegaR
-	if omegaR == 0 {
-		omegaR = 1
+	n := p.NumVars + p.NumCons
+	s0 := opts.S0
+	if s0 != nil && len(s0) != n {
+		return nil, nil, mclgerr.Invalidf("core: S0 has length %d, want NumVars+NumCons = %d",
+			len(s0), n)
 	}
-	build := func(p *Problem, beta, theta float64) (*StructuredSplitting, error) {
-		switch {
-		case opts.PaperOmega:
-			return NewStructuredSplitting(p, beta, theta)
-		case opts.ScaledOmegaX:
-			return NewStructuredSplittingScaledOmega(p, beta, theta)
-		default:
-			return NewStructuredSplittingOmegaR(p, beta, theta, omegaR)
+
+	warm := opts.Warm
+	if warm != nil {
+		warm.mu.Lock()
+		defer warm.mu.Unlock()
+	}
+
+	var sp *StructuredSplitting
+	var aMat *sparse.CSR
+	var q []float64
+	if warm != nil && warm.valid && warm.sig == warmSig(p, &opts) {
+		// Structure match: the cached matrix, splitting, and resolved θ*
+		// are all position-independent; only the linear term −target in
+		// q's head changes between solves.
+		sp, aMat, q = warm.sp, warm.a, warm.q
+		copy(q[:p.NumVars], p.P)
+		st.ThetaUsed = warm.thetaUsed
+		st.ThetaBound = warm.thetaBound
+		st.WarmReused = true
+	} else {
+		theta := opts.Theta
+		omegaR := opts.OmegaR
+		if omegaR == 0 {
+			omegaR = 1
 		}
-	}
-	sp, err := build(p, opts.Beta, theta)
-	if err != nil {
-		return nil, nil, err
-	}
-	if opts.AutoTheta {
-		bound, err := sp.ThetaBound()
+		build := func(p *Problem, beta, theta float64) (*StructuredSplitting, error) {
+			switch {
+			case opts.PaperOmega:
+				return NewStructuredSplitting(p, beta, theta)
+			case opts.ScaledOmegaX:
+				return NewStructuredSplittingScaledOmega(p, beta, theta)
+			default:
+				return NewStructuredSplittingOmegaR(p, beta, theta, omegaR)
+			}
+		}
+		var err error
+		sp, err = build(p, opts.Beta, theta)
 		if err != nil {
 			return nil, nil, err
 		}
-		st.ThetaBound = bound
-		if bound > 0 && theta >= bound {
-			theta = 0.95 * bound
-			sp, err = build(p, opts.Beta, theta)
+		if opts.AutoTheta {
+			bound, err := sp.ThetaBound()
 			if err != nil {
 				return nil, nil, err
 			}
+			st.ThetaBound = bound
+			if bound > 0 && theta >= bound {
+				theta = 0.95 * bound
+				sp, err = build(p, opts.Beta, theta)
+				if err != nil {
+					return nil, nil, err
+				}
+			}
+			st.ThetaUsed = theta
 		}
-		st.ThetaUsed = theta
+		aMat = p.AssembleLCPMatrix()
+		q = p.LCPVector()
+		if warm != nil {
+			// Prime (or re-prime after a mismatch) the structure caches;
+			// the previous solution, if any, belonged to a different
+			// structure and must not seed this solve.
+			warm.sig = warmSig(p, &opts)
+			warm.valid = true
+			warm.sp, warm.a, warm.q = sp, aMat, q
+			warm.thetaUsed, warm.thetaBound = st.ThetaUsed, st.ThetaBound
+			warm.haveZ = false
+		}
 	}
 
-	s0 := opts.S0
-	if s0 != nil && len(s0) != p.NumVars+p.NumCons {
-		return nil, nil, mclgerr.Invalidf("core: S0 has length %d, want NumVars+NumCons = %d",
-			len(s0), p.NumVars+p.NumCons)
+	gamma := opts.Gamma
+	if gamma == 0 {
+		gamma = 1
+	}
+	if s0 == nil && !opts.ColdStart && st.WarmReused && warm.haveZ {
+		// Seed from the previous solution via the modulus transform
+		// s = γ/2·(z − Ω⁻¹w) with w = A·z + q evaluated against the NEW
+		// q, so components whose constraints tightened start from their
+		// updated complementary value. MMSIM converges from any seed, so
+		// a stale or imperfect seed costs iterations, never correctness.
+		warm.wbuf = grow(warm.wbuf, n)
+		warm.seed = grow(warm.seed, n)
+		aMat.MulVec(warm.wbuf, warm.prevZ)
+		sparse.Axpy(warm.wbuf, 1, q)
+		lcp.WarmSeed(warm.seed, warm.prevZ, warm.wbuf, gamma, sp.Omega())
+		s0 = warm.seed
+		st.WarmSeeded = true
 	}
 	if s0 == nil && !opts.ColdStart {
 		// Warm start at the global-placement positions with zero
 		// multipliers: for z > 0 the modulus substitution gives
 		// s = γ·z/2, and most of the relaxed optimum stays near the GP.
-		s0 = make([]float64, p.NumVars+p.NumCons)
-		gamma := opts.Gamma
-		if gamma == 0 {
-			gamma = 1
-		}
+		s0 = make([]float64, n)
 		for i, sc := range p.Subcells {
 			s0[i] = gamma * sc.Target / 2
 		}
@@ -337,8 +417,8 @@ func SolveMMSIMContext(ctx context.Context, p *Problem, opts Options) ([]float64
 	if resTol == 0 {
 		resTol = 0.5
 	}
-	prob := &lcp.Problem{A: p.AssembleLCPMatrix(), Q: p.LCPVector()}
-	res, err := lcp.MMSIMContext(ctx, prob, sp, lcp.Options{
+	prob := &lcp.Problem{A: aMat, Q: q}
+	lo := lcp.Options{
 		Gamma:       opts.Gamma,
 		Eps:         opts.Eps,
 		MaxIter:     opts.MaxIter,
@@ -346,13 +426,31 @@ func SolveMMSIMContext(ctx context.Context, p *Problem, opts Options) ([]float64
 		ResidualTol: resTol,
 		OnIter:      opts.OnIter,
 		Workers:     opts.Workers,
-	})
+	}
+	if warm != nil {
+		if warm.ws == nil {
+			warm.ws = lcp.NewWorkspace(n)
+		}
+		lo.Workspace = warm.ws
+	}
+	res, err := lcp.MMSIMContext(ctx, prob, sp, lo)
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: MMSIM: %w", err)
 	}
 	st.Iterations = res.Iterations
 	st.Converged = res.Converged
-	return res.Z[:p.NumVars], st, nil
+	x := res.Z[:p.NumVars]
+	if warm != nil {
+		// Retain the solution for the next seed, then detach x from the
+		// shared workspace before the mutex is released.
+		warm.prevZ = append(warm.prevZ[:0], res.Z...)
+		warm.haveZ = true
+		if !st.WarmSeeded {
+			warm.coldIters = res.Iterations
+		}
+		x = append([]float64(nil), x...)
+	}
+	return x, st, nil
 }
 
 // Restore writes the solved subcell positions back to the design's cells:

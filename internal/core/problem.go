@@ -256,6 +256,10 @@ func (p *Problem) ApplyH(dst, src []float64) {
 // are disjoint and the per-slot arithmetic is unchanged — the result is
 // bit-identical to ApplyH at any worker count.
 func (p *Problem) ApplyHP(workers int, dst, src []float64) {
+	if par.Resolve(workers) <= 1 {
+		p.ApplyH(dst, src)
+		return
+	}
 	par.For(workers, len(src), par.GrainVec, func(lo, hi int) {
 		copy(dst[lo:hi], src[lo:hi])
 	})
@@ -298,30 +302,41 @@ func (p *Problem) SolveHShifted(c1, lamCoef float64, dst, rhs []float64) {
 // rhs entries and writes only its own dst entries, so any worker count
 // yields bit-identical results. dst and rhs may alias.
 func (p *Problem) SolveHShiftedP(workers int, c1, lamCoef float64, dst, rhs []float64) {
+	if par.Resolve(workers) <= 1 {
+		p.solveHShiftedBlocks(c1, lamCoef, p.CellVars, dst, rhs)
+		return
+	}
 	par.For(workers, len(p.CellVars), par.GrainCells, func(lo, hi int) {
-		for _, vars := range p.CellVars[lo:hi] {
-			d := len(vars)
-			switch {
-			case d == 0:
-				continue
-			case d == 1:
-				dst[vars[0]] = rhs[vars[0]] / c1
-			case d == 2:
-				// Block [[c1+λ', −λ'], [−λ', c1+λ']] with λ' = lamCoef: the
-				// closed form the paper derives via Sherman–Morrison.
-				a := c1 + lamCoef
-				det := a*a - lamCoef*lamCoef
-				r0, r1 := rhs[vars[0]], rhs[vars[1]]
-				dst[vars[0]] = (a*r0 + lamCoef*r1) / det
-				dst[vars[1]] = (lamCoef*r0 + a*r1) / det
-			default:
-				// General k-row cells: Thomas algorithm on the small
-				// tridiagonal block c1·I + λ'·L where L = path Laplacian
-				// (diag 1,2,...,2,1; off-diagonals −1).
-				p.solvePathBlock(c1, lamCoef, vars, dst, rhs)
-			}
-		}
+		p.solveHShiftedBlocks(c1, lamCoef, p.CellVars[lo:hi], dst, rhs)
 	})
+}
+
+// solveHShiftedBlocks solves the shifted system on one run of cell blocks;
+// both the serial path and every par.For shard of SolveHShiftedP funnel
+// through it, so the per-block arithmetic is one piece of code.
+func (p *Problem) solveHShiftedBlocks(c1, lamCoef float64, blocks [][]int, dst, rhs []float64) {
+	for _, vars := range blocks {
+		d := len(vars)
+		switch {
+		case d == 0:
+			continue
+		case d == 1:
+			dst[vars[0]] = rhs[vars[0]] / c1
+		case d == 2:
+			// Block [[c1+λ', −λ'], [−λ', c1+λ']] with λ' = lamCoef: the
+			// closed form the paper derives via Sherman–Morrison.
+			a := c1 + lamCoef
+			det := a*a - lamCoef*lamCoef
+			r0, r1 := rhs[vars[0]], rhs[vars[1]]
+			dst[vars[0]] = (a*r0 + lamCoef*r1) / det
+			dst[vars[1]] = (lamCoef*r0 + a*r1) / det
+		default:
+			// General k-row cells: Thomas algorithm on the small
+			// tridiagonal block c1·I + λ'·L where L = path Laplacian
+			// (diag 1,2,...,2,1; off-diagonals −1).
+			p.solvePathBlock(c1, lamCoef, vars, dst, rhs)
+		}
+	}
 }
 
 // solvePathBlock runs the Thomas algorithm on one cell block. Stack-local
@@ -389,46 +404,57 @@ func (p *Problem) SolveHOmegaDiagP(workers int, beta float64, dst, rhs []float64
 	c1 := 1/beta + 1
 	lam := p.Lambda
 	off := lam / beta
+	if par.Resolve(workers) <= 1 {
+		p.solveHOmegaDiagBlocks(c1, lam, off, p.CellVars, dst, rhs)
+		return
+	}
 	par.For(workers, len(p.CellVars), par.GrainCells, func(lo, hi int) {
-		const maxSpan = 16
-		var diagA, rhsA [maxSpan]float64
-		for _, vars := range p.CellVars[lo:hi] {
-			d := len(vars)
-			switch {
-			case d == 0:
-				continue
-			case d == 1:
-				dst[vars[0]] = rhs[vars[0]] / c1
-			default:
-				diag := diagA[:d]
-				r := rhsA[:d]
-				if d > maxSpan {
-					diag = make([]float64, d)
-					r = make([]float64, d)
+		p.solveHOmegaDiagBlocks(c1, lam, off, p.CellVars[lo:hi], dst, rhs)
+	})
+}
+
+// solveHOmegaDiagBlocks solves the Ω = diag(H) system on one run of cell
+// blocks; the serial path and every par.For shard of SolveHOmegaDiagP share
+// it. The stack scratch keeps realistic spans allocation-free.
+func (p *Problem) solveHOmegaDiagBlocks(c1, lam, off float64, blocks [][]int, dst, rhs []float64) {
+	const maxSpan = 16
+	var diagA, rhsA [maxSpan]float64
+	for _, vars := range blocks {
+		d := len(vars)
+		switch {
+		case d == 0:
+			continue
+		case d == 1:
+			dst[vars[0]] = rhs[vars[0]] / c1
+		default:
+			diag := diagA[:d]
+			r := rhsA[:d]
+			if d > maxSpan {
+				diag = make([]float64, d)
+				r = make([]float64, d)
+			}
+			for k := 0; k < d; k++ {
+				deg := 2.0
+				if k == 0 || k == d-1 {
+					deg = 1
 				}
-				for k := 0; k < d; k++ {
-					deg := 2.0
-					if k == 0 || k == d-1 {
-						deg = 1
-					}
-					diag[k] = c1 * (1 + lam*deg)
-					r[k] = rhs[vars[k]]
-				}
-				for k := 1; k < d; k++ {
-					m := -off / diag[k-1]
-					diag[k] -= m * -off
-					r[k] -= m * r[k-1]
-				}
-				r[d-1] /= diag[d-1]
-				for k := d - 2; k >= 0; k-- {
-					r[k] = (r[k] + off*r[k+1]) / diag[k]
-				}
-				for k := 0; k < d; k++ {
-					dst[vars[k]] = r[k]
-				}
+				diag[k] = c1 * (1 + lam*deg)
+				r[k] = rhs[vars[k]]
+			}
+			for k := 1; k < d; k++ {
+				m := -off / diag[k-1]
+				diag[k] -= m * -off
+				r[k] -= m * r[k-1]
+			}
+			r[d-1] /= diag[d-1]
+			for k := d - 2; k >= 0; k-- {
+				r[k] = (r[k] + off*r[k+1]) / diag[k]
+			}
+			for k := 0; k < d; k++ {
+				dst[vars[k]] = r[k]
 			}
 		}
-	})
+	}
 }
 
 // ApplyHInvSparse applies H⁻¹ to a sparse vector given as (idx, val) pairs

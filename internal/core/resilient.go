@@ -308,6 +308,10 @@ func retune(base Options, k int) Options {
 	o.AutoTheta = true
 	o.ColdStart = true
 	o.S0 = nil
+	// Fallback rungs always run cold: the retuned constants invalidate the
+	// cached splitting, and a rescue attempt must not inherit state from
+	// the configuration that just failed.
+	o.Warm = nil
 	// Recover from a starved base budget as well as from divergence: back
 	// off from at least the default budget, growing with each attempt since
 	// smaller splitting constants converge more slowly.

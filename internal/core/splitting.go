@@ -145,11 +145,17 @@ func (s *StructuredSplitting) ApplyN(dst, src []float64) {
 	n, m := s.p.NumVars, s.p.NumCons
 	s.p.ApplyHP(s.workers, s.scratchX, src[:n])
 	coef := 1/s.beta - 1
-	par.For(s.workers, n, par.GrainVec, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
+	if par.Resolve(s.workers) <= 1 {
+		for i := 0; i < n; i++ {
 			dst[i] = coef * s.scratchX[i]
 		}
-	})
+	} else {
+		par.For(s.workers, n, par.GrainVec, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				dst[i] = coef * s.scratchX[i]
+			}
+		})
+	}
 	// Bᵀ src_r via the precomputed transpose: the row-sharded product keeps
 	// the scatter that AddMulVecT would do off the parallel path.
 	s.bT.AddMulVecP(s.workers, dst[:n], src[n:n+m], 1)

@@ -1,0 +1,211 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"mclg/internal/design"
+	"mclg/internal/gen"
+)
+
+// perturbGX nudges every movable cell's global-placement x by a tiny
+// deterministic jitter — small enough that no per-row ordering flips, so the
+// rebuilt problem has the same structure signature as the original.
+func perturbGX(d *design.Design, seed int64, amp float64) {
+	rng := rand.New(rand.NewSource(seed))
+	for _, c := range d.Cells {
+		if c.Fixed {
+			continue
+		}
+		c.GX += (rng.Float64()*2 - 1) * amp
+		c.X = c.GX
+	}
+}
+
+// buildFor assigns rows and builds the LCP problem, failing the test on error.
+func buildFor(t *testing.T, d *design.Design, lambda float64) *Problem {
+	t.Helper()
+	if err := AssignRows(d); err != nil {
+		t.Fatal(err)
+	}
+	p, err := BuildProblem(d, lambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestStructureSigPositionInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(401))
+	d := randomDesign(rng, 6, 120, 40, 0.3)
+	p1 := buildFor(t, d.Clone(), 1000)
+
+	d2 := d.Clone()
+	perturbGX(d2, 402, 1e-3)
+	p2 := buildFor(t, d2, 1000)
+
+	if p1.StructureSig() != p2.StructureSig() {
+		t.Fatal("structure signature changed under a position-only perturbation")
+	}
+
+	// A width change is structural and must change the signature.
+	d3 := d.Clone()
+	d3.Cells[0].W += 1
+	p3 := buildFor(t, d3, 1000)
+	if p1.StructureSig() == p3.StructureSig() {
+		t.Fatal("structure signature did not change when a cell width changed")
+	}
+}
+
+// TestWarmSolveMatchesCold is the core correctness contract: a warm-started
+// solve of a perturbed instance returns the same x (to solver tolerance
+// exactly — the iteration converges to the unique LCP solution) as a cold
+// solve, with WarmReused/WarmSeeded set and fewer iterations.
+func TestWarmSolveMatchesCold(t *testing.T) {
+	d, err := gen.Generate(gen.Spec{
+		Name: "warm-core", Seed: 407,
+		SingleCells: 60, DoubleCells: 20, Density: 0.6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	p0 := buildFor(t, d.Clone(), opts.Lambda)
+
+	warm := NewWarmState()
+	opts.Warm = warm
+	x0, st0, err := SolveMMSIMContext(t.Context(), p0, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st0.WarmReused || st0.WarmSeeded {
+		t.Fatalf("first solve through a fresh WarmState: WarmReused=%v WarmSeeded=%v, want cold",
+			st0.WarmReused, st0.WarmSeeded)
+	}
+	if got := warm.ColdIterations(); got != st0.Iterations {
+		t.Fatalf("ColdIterations = %d, want %d", got, st0.Iterations)
+	}
+
+	d2 := d.Clone()
+	perturbGX(d2, 408, 1e-3)
+	pw := buildFor(t, d2.Clone(), opts.Lambda)
+	xw, stw, err := SolveMMSIMContext(t.Context(), pw, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stw.WarmReused || !stw.WarmSeeded {
+		t.Fatalf("perturbed re-solve: WarmReused=%v WarmSeeded=%v, want both", stw.WarmReused, stw.WarmSeeded)
+	}
+	if stw.Iterations >= st0.Iterations {
+		t.Errorf("warm solve took %d iterations, cold took %d — no speedup", stw.Iterations, st0.Iterations)
+	}
+
+	// Cold reference on the identical perturbed problem.
+	pc := buildFor(t, d2.Clone(), opts.Lambda)
+	cold := opts
+	cold.Warm = nil
+	xc, stc, err := SolveMMSIMContext(t.Context(), pc, cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stc.Converged || !stw.Converged {
+		t.Fatalf("converged: warm=%v cold=%v", stw.Converged, stc.Converged)
+	}
+	if len(xw) != len(xc) {
+		t.Fatalf("len(xw) = %d, len(xc) = %d", len(xw), len(xc))
+	}
+	// Both solves converge to the unique LCP solution; with the same ε they
+	// land within solver tolerance of each other. (Bit-identity of the final
+	// placement is pinned post-tetris by the regress warm tests.)
+	for i := range xw {
+		if diff := xw[i] - xc[i]; diff > 2e-3 || diff < -2e-3 {
+			t.Fatalf("x[%d]: warm %.9f vs cold %.9f", i, xw[i], xc[i])
+		}
+	}
+	_ = x0
+}
+
+// TestWarmStateInvalidatedByStructureChange: a structural edit between solves
+// must force a cold re-prime, never a stale-seeded solve.
+func TestWarmStateInvalidatedByStructureChange(t *testing.T) {
+	rng := rand.New(rand.NewSource(411))
+	d := randomDesign(rng, 6, 120, 40, 0.3)
+	opts := DefaultOptions()
+	warm := NewWarmState()
+	opts.Warm = warm
+
+	p1 := buildFor(t, d.Clone(), opts.Lambda)
+	if _, _, err := SolveMMSIMContext(t.Context(), p1, opts); err != nil {
+		t.Fatal(err)
+	}
+
+	d2 := d.Clone()
+	d2.Cells[3].W += 2 // structural change
+	p2 := buildFor(t, d2, opts.Lambda)
+	_, st, err := SolveMMSIMContext(t.Context(), p2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.WarmReused || st.WarmSeeded {
+		t.Fatalf("structure change: WarmReused=%v WarmSeeded=%v, want cold re-prime",
+			st.WarmReused, st.WarmSeeded)
+	}
+
+	warm.Reset()
+	p3 := buildFor(t, d2.Clone(), opts.Lambda)
+	_, st3, err := SolveMMSIMContext(t.Context(), p3, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st3.WarmReused {
+		t.Fatal("solve after Reset reported WarmReused")
+	}
+}
+
+// TestLegalizeWarmBitIdentical runs the FULL pipeline (rows + MMSIM + tetris)
+// warm and cold on the same perturbed design and requires bit-identical final
+// placements: the warm path may only change the starting iterate, never the
+// fixed point or the downstream snapping.
+func TestLegalizeWarmBitIdentical(t *testing.T) {
+	d, err := gen.Generate(gen.Spec{
+		Name: "warm-e2e", Seed: 419,
+		SingleCells: 60, DoubleCells: 20, Density: 0.6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	warm := NewWarmState()
+	warmOpts := Options{Warm: warm}
+	if _, err := New(warmOpts).Legalize(d.Clone()); err != nil {
+		t.Fatal(err)
+	}
+
+	perturbed := d.Clone()
+	perturbGX(perturbed, 420, 1e-3)
+
+	dw := perturbed.Clone()
+	stw, err := New(warmOpts).Legalize(dw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stw.WarmReused || !stw.WarmSeeded {
+		t.Fatalf("warm legalize: WarmReused=%v WarmSeeded=%v", stw.WarmReused, stw.WarmSeeded)
+	}
+
+	dc := perturbed.Clone()
+	stc, err := New(Options{}).Legalize(dc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stw.Iterations >= stc.Iterations {
+		t.Errorf("warm legalize took %d MMSIM iterations, cold took %d", stw.Iterations, stc.Iterations)
+	}
+	for i := range dw.Cells {
+		cw, cc := dw.Cells[i], dc.Cells[i]
+		if cw.X != cc.X || cw.Y != cc.Y || cw.Flipped != cc.Flipped {
+			t.Fatalf("cell %d: warm (%.17g, %.17g, %v) vs cold (%.17g, %.17g, %v)",
+				i, cw.X, cw.Y, cw.Flipped, cc.X, cc.Y, cc.Flipped)
+		}
+	}
+}

@@ -39,7 +39,15 @@ func (p *Problem) W(z []float64) []float64 {
 // the maximum over all i of max(-z_i, -w_i, |min(z_i, w_i)|) — i.e. the
 // worst primal infeasibility, dual infeasibility, or complementarity gap.
 func (p *Problem) Residual(z []float64) float64 {
-	w := p.W(z)
+	return p.ResidualInto(make([]float64, p.N()), z)
+}
+
+// ResidualInto is Residual with a caller-supplied scratch w (length N), so
+// the solver's candidate-stop checks stay allocation-free. w is overwritten
+// with Az + q.
+func (p *Problem) ResidualInto(w, z []float64) float64 {
+	p.A.MulVec(w, z)
+	sparse.Axpy(w, 1, p.Q)
 	res := 0.0
 	for i := range z {
 		if v := -z[i]; v > res {

@@ -53,6 +53,15 @@ type Options struct {
 	// bit-identical iterates — the kernels use fixed chunking with disjoint
 	// writes and order-insensitive max reductions (see internal/par).
 	Workers int
+
+	// Workspace supplies the solve's iterate buffers so repeated solves
+	// allocate nothing per iteration (and nothing per solve beyond the
+	// Result struct). Nil borrows a pooled workspace for the duration of
+	// the solve; in that case Result.Z is detached (copied) before the
+	// workspace returns to the pool. With an explicit Workspace, Result.Z
+	// aliases the workspace's z buffer and is valid only until the
+	// workspace is reused.
+	Workspace *Workspace
 }
 
 func (o *Options) withDefaults() Options {
@@ -103,76 +112,200 @@ type WorkerSettable interface {
 // ctx every few iterations and aborts with an mclgerr.ErrCanceled-matching
 // error when the context is done.
 func MMSIMContext(ctx context.Context, p *Problem, sp Splitting, opts Options) (*Result, error) {
+	sv, err := NewSolver(p, sp, opts)
+	if err != nil {
+		return nil, err
+	}
+	defer sv.Close()
+	return sv.Run(ctx)
+}
+
+// Solver is one MMSIM run unrolled into explicit steps: NewSolver binds the
+// problem, splitting, and workspace; Step advances one iteration of
+// Algorithm 1; Run drives Step to convergence with cancellation and
+// divergence checks. The stepping form exists so callers (and the
+// steady-state allocation gate) can drive the per-iteration hot path
+// directly — at Workers <= 1 a Step performs zero heap allocations.
+type Solver struct {
+	p     *Problem
+	sp    Splitting
+	o     Options
+	ws    *Workspace
+	ownWS bool // workspace borrowed from the pool, returned by Close
+
+	omega []float64
+	n     int
+	k     int // completed iterations
+}
+
+// NewSolver validates the instance and prepares a solver positioned before
+// the first iteration. A non-nil Options.S0 must have exactly the problem
+// dimension; a mismatch is rejected with an mclgerr.ErrInvalidInput-matching
+// error rather than silently truncating or zero-padding the seed.
+func NewSolver(p *Problem, sp Splitting, opts Options) (*Solver, error) {
 	o := opts.withDefaults()
 	n := p.N()
 	if p.A.Rows != n || p.A.Cols != n {
 		return nil, fmt.Errorf("lcp: A is %dx%d but q has length %d", p.A.Rows, p.A.Cols, n)
 	}
-	workers := o.Workers
+	if o.S0 != nil && len(o.S0) != n {
+		return nil, mclgerr.Invalidf("lcp: S0 has length %d, want problem dimension %d", len(o.S0), n)
+	}
 	if ws, ok := sp.(WorkerSettable); ok {
-		ws.SetWorkers(workers)
+		ws.SetWorkers(o.Workers)
 	}
-
-	s := make([]float64, n)
+	sv := &Solver{p: p, sp: sp, o: o, n: n, omega: sp.Omega()}
+	if opts.Workspace != nil {
+		sv.ws = opts.Workspace
+		sv.ws.Ensure(n)
+	} else {
+		sv.ws = GetWorkspace(n)
+		sv.ownWS = true
+	}
+	// Pooled (and caller-reused) buffers are dirty: the seed and the dz
+	// predecessor are the only state read before being written.
+	ws := sv.ws
+	for i := range ws.s {
+		ws.s[i] = 0
+	}
 	if o.S0 != nil {
-		copy(s, o.S0)
+		copy(ws.s, o.S0)
 	}
-	sNext := make([]float64, n)
-	absS := make([]float64, n)
-	rhs := make([]float64, n)
-	z := make([]float64, n)
-	zPrev := make([]float64, n)
-	omega := sp.Omega()
+	for i := range ws.zPrev {
+		ws.zPrev[i] = 0
+	}
+	return sv, nil
+}
 
-	res := &Result{}
-	for k := 0; k < o.MaxIter; k++ {
-		if k%cancelCheckEvery == 0 {
-			if err := mclgerr.FromContext(ctx); err != nil {
-				return nil, fmt.Errorf("lcp: MMSIM aborted at iteration %d: %w", k, err)
-			}
-		}
-		sparse.AbsP(workers, absS, s)
-		// rhs = N s + Ω|s| − A|s| − γ q
-		sp.ApplyN(rhs, s)
-		if omega == nil {
-			sparse.AxpyP(workers, rhs, 1, absS)
+// Close releases a pooled workspace. After Close the solver must not be
+// stepped; a Result.Z obtained from an explicit Options.Workspace remains
+// owned by that workspace.
+func (sv *Solver) Close() {
+	if sv.ownWS {
+		PutWorkspace(sv.ws)
+		sv.ownWS = false
+	}
+	sv.ws = nil
+}
+
+// Iterations returns how many steps have completed.
+func (sv *Solver) Iterations() int { return sv.k }
+
+// Z returns the current z iterate (aliasing the workspace).
+func (sv *Solver) Z() []float64 { return sv.ws.z }
+
+// Step advances one MMSIM iteration (Eqs. 3–4) and returns the step norm
+// ||z⁽ᵏ⁾ − z⁽ᵏ⁻¹⁾||∞. It performs no allocations when Workers resolves to
+// 1: the serial branch calls the closure-free scalar kernels, while the
+// parallel branch shards through internal/par with bit-identical arithmetic.
+func (sv *Solver) Step() (float64, error) {
+	ws, o, n := sv.ws, &sv.o, sv.n
+	workers := o.Workers
+	serial := par.Resolve(workers) <= 1
+	if sv.k > 0 {
+		copy(ws.zPrev, ws.z)
+	}
+
+	if serial {
+		sparse.Abs(ws.absS, ws.s)
+	} else {
+		sparse.AbsP(workers, ws.absS, ws.s)
+	}
+	// rhs = N s + Ω|s| − A|s| − γ q
+	sv.sp.ApplyN(ws.rhs, ws.s)
+	if sv.omega == nil {
+		if serial {
+			sparse.Axpy(ws.rhs, 1, ws.absS)
 		} else {
-			par.For(workers, n, par.GrainVec, func(lo, hi int) {
-				for i := lo; i < hi; i++ {
-					rhs[i] += omega[i] * absS[i]
-				}
-			})
+			sparse.AxpyP(workers, ws.rhs, 1, ws.absS)
 		}
-		p.A.AddMulVecP(workers, rhs, absS, -1)
-		sparse.AxpyP(workers, rhs, -o.Gamma, p.Q)
+	} else if serial {
+		rhs, omega, absS := ws.rhs, sv.omega, ws.absS
+		for i := 0; i < n; i++ {
+			rhs[i] += omega[i] * absS[i]
+		}
+	} else {
+		rhs, omega, absS := ws.rhs, sv.omega, ws.absS
+		par.For(workers, n, par.GrainVec, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				rhs[i] += omega[i] * absS[i]
+			}
+		})
+	}
+	if serial {
+		sv.p.A.AddMulVec(ws.rhs, ws.absS, -1)
+		sparse.Axpy(ws.rhs, -o.Gamma, sv.p.Q)
+	} else {
+		sv.p.A.AddMulVecP(workers, ws.rhs, ws.absS, -1)
+		sparse.AxpyP(workers, ws.rhs, -o.Gamma, sv.p.Q)
+	}
 
-		sp.SolveMOmega(sNext, rhs)
-		s, sNext = sNext, s
+	sv.sp.SolveMOmega(ws.sNext, ws.rhs)
+	ws.s, ws.sNext = ws.sNext, ws.s
 
-		gamma := o.Gamma
+	gamma := o.Gamma
+	if serial {
+		z, s := ws.z, ws.s
+		for i := 0; i < n; i++ {
+			z[i] = (math.Abs(s[i]) + s[i]) / gamma
+		}
+	} else {
+		z, s := ws.z, ws.s
 		par.For(workers, n, par.GrainVec, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				z[i] = (math.Abs(s[i]) + s[i]) / gamma
 			}
 		})
-		if !finite(z) {
-			return nil, ErrDiverged
+	}
+	if !finite(ws.z) {
+		return 0, ErrDiverged
+	}
+	var dz float64
+	if serial {
+		dz = sparse.DiffNormInf(ws.z, ws.zPrev)
+	} else {
+		dz = sparse.DiffNormInfP(workers, ws.z, ws.zPrev)
+	}
+	sv.k++
+	return dz, nil
+}
+
+// Run drives Step until convergence, divergence, iteration exhaustion, or
+// cancellation, reproducing the classic MMSIMContext loop bit for bit. When
+// the solver owns a pooled workspace, Result.Z is detached from it before
+// the workspace can return to the pool; with an explicit Options.Workspace,
+// Result.Z aliases the workspace.
+func (sv *Solver) Run(ctx context.Context) (*Result, error) {
+	o := &sv.o
+	res := &Result{}
+	for sv.k < o.MaxIter {
+		if sv.k%cancelCheckEvery == 0 {
+			if err := mclgerr.FromContext(ctx); err != nil {
+				return nil, fmt.Errorf("lcp: MMSIM aborted at iteration %d: %w", sv.k, err)
+			}
 		}
-		dz := sparse.DiffNormInfP(workers, z, zPrev)
-		res.Iterations = k + 1
+		k := sv.k
+		dz, err := sv.Step()
+		if err != nil {
+			return nil, err
+		}
+		res.Iterations = sv.k
 		res.FinalStep = dz
 		if o.OnIter != nil {
 			o.OnIter(k, dz)
 		}
 		if k > 0 && dz < o.Eps {
-			if o.ResidualTol <= 0 || p.Residual(z) < o.ResidualTol {
+			if o.ResidualTol <= 0 || sv.p.ResidualInto(sv.ws.w, sv.ws.z) < o.ResidualTol {
 				res.Converged = true
 				break
 			}
 		}
-		copy(zPrev, z)
 	}
-	res.Z = z
+	if sv.ownWS {
+		res.Z = append([]float64(nil), sv.ws.z...)
+	} else {
+		res.Z = sv.ws.z
+	}
 	return res, nil
 }
 

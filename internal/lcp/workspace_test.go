@@ -1,0 +1,284 @@
+package lcp
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"mclg/internal/mclgerr"
+	"mclg/internal/sparse"
+)
+
+func TestMMSIMS0LengthValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(401))
+	p, _ := spdProblem(rng, 5)
+	sp, err := NewDiagSplitting(p.A, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{1, 4, 6, 50} {
+		_, err := MMSIM(p, sp, Options{S0: make([]float64, n)})
+		if err == nil {
+			t.Fatalf("S0 of length %d accepted for a 5-dim problem", n)
+		}
+		if !errors.Is(err, mclgerr.ErrInvalidInput) {
+			t.Errorf("S0 length %d: error %v does not match ErrInvalidInput", n, err)
+		}
+	}
+	// Exact length and nil both remain accepted.
+	if _, err := MMSIM(p, sp, Options{S0: make([]float64, 5)}); err != nil {
+		t.Errorf("exact-length S0 rejected: %v", err)
+	}
+	if _, err := MMSIM(p, sp, Options{}); err != nil {
+		t.Errorf("nil S0 rejected: %v", err)
+	}
+}
+
+// TestWorkspaceReuseMatchesPooled pins that an explicit, reused workspace
+// changes nothing about the iterates: the same problem solved through one
+// workspace twice in a row — and through the pool — yields bit-identical z,
+// and a workspace sized for a larger instance serves a smaller one (the
+// Ensure shrink path) without disturbing the result.
+func TestWorkspaceReuseMatchesPooled(t *testing.T) {
+	rng := rand.New(rand.NewSource(402))
+	big, _ := spdProblem(rng, 24)
+	small, _ := spdProblem(rng, 7)
+	opts := Options{Eps: 1e-10, MaxIter: 100000}
+
+	solve := func(p *Problem, ws *Workspace) *Result {
+		sp, err := NewDiagSplitting(p.A, 0.9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o := opts
+		o.Workspace = ws
+		res, err := MMSIM(p, sp, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged {
+			t.Fatal("did not converge")
+		}
+		return res
+	}
+
+	ws := NewWorkspace(24)
+	for name, p := range map[string]*Problem{"big": big, "small": small} {
+		pooled := solve(p, nil)
+		first := append([]float64(nil), solve(p, ws).Z...)
+		second := solve(p, ws) // dirty buffers from the previous run
+		if len(first) != p.N() || len(second.Z) != p.N() {
+			t.Fatalf("%s: Z length %d/%d, want %d", name, len(first), len(second.Z), p.N())
+		}
+		for i := range first {
+			if first[i] != pooled.Z[i] || second.Z[i] != pooled.Z[i] {
+				t.Fatalf("%s: z[%d] pooled %g, workspace %g / %g — reuse changed the result",
+					name, i, pooled.Z[i], first[i], second.Z[i])
+			}
+		}
+	}
+}
+
+// TestResultZDetachedFromPool pins the ownership contract: a pooled solve's
+// Result.Z must survive the workspace returning to the pool and being
+// reused by a later solve.
+func TestResultZDetachedFromPool(t *testing.T) {
+	rng := rand.New(rand.NewSource(403))
+	p, _ := spdProblem(rng, 12)
+	sp, err := NewDiagSplitting(p.A, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := MMSIM(p, sp, Options{Eps: 1e-10, MaxIter: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]float64(nil), res.Z...)
+	// Churn the pool with solves of a different problem.
+	q, _ := spdProblem(rng, 12)
+	spq, _ := NewDiagSplitting(q.A, 0.9)
+	for i := 0; i < 4; i++ {
+		if _, err := MMSIM(q, spq, Options{Eps: 1e-10, MaxIter: 100000}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range want {
+		if res.Z[i] != want[i] {
+			t.Fatalf("Result.Z[%d] changed from %g to %g after pool reuse", i, want[i], res.Z[i])
+		}
+	}
+}
+
+func TestWarmSeedExactSolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(404))
+	for trial := 0; trial < 10; trial++ {
+		n := 4 + rng.Intn(12)
+		p, _ := spdProblem(rng, n)
+		sp, err := NewDiagSplitting(p.A, 0.9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := Options{Eps: 1e-12, MaxIter: 100000}
+		cold, err := MMSIM(p, sp, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !cold.Converged {
+			t.Fatal("cold solve did not converge")
+		}
+		w := p.W(cold.Z)
+		seed := make([]float64, n)
+		WarmSeed(seed, cold.Z, w, opts.Gamma, sp.Omega())
+		warmOpts := opts
+		warmOpts.S0 = seed
+		warm, err := MMSIM(p, sp, warmOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !warm.Converged {
+			t.Fatal("warm solve did not converge")
+		}
+		if cold.Iterations > 10 && warm.Iterations*2 > cold.Iterations {
+			t.Errorf("trial %d: warm restart from the exact solution took %d iterations vs %d cold",
+				trial, warm.Iterations, cold.Iterations)
+		}
+		for i := range cold.Z {
+			if math.Abs(warm.Z[i]-cold.Z[i]) > 1e-8 {
+				t.Errorf("trial %d: z[%d] warm %g vs cold %g", trial, i, warm.Z[i], cold.Z[i])
+			}
+		}
+	}
+}
+
+func TestWarmSeedTransform(t *testing.T) {
+	gamma := 2.0
+	z := []float64{3, 0, -1, math.NaN()}
+	w := []float64{0, 4, math.NaN(), -2}
+	dst := make([]float64, 4)
+
+	// Identity Ω: z_i > 0 ⇒ s = γz/2; w_i > 0 ⇒ s = −γw/2; negative and
+	// NaN components clamp to zero.
+	WarmSeed(dst, z, w, gamma, nil)
+	want := []float64{3, -4, 0, 0}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Errorf("identity omega: s[%d] = %g, want %g", i, dst[i], want[i])
+		}
+	}
+
+	// Diagonal Ω scales only the w term: s = γ(z − w/ω)/2.
+	WarmSeed(dst, z, w, gamma, []float64{2, 2, 2, 2})
+	want = []float64{3, -2, 0, 0}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Errorf("omega=2: s[%d] = %g, want %g", i, dst[i], want[i])
+		}
+	}
+
+	// gamma 0 means 1, matching Options.withDefaults.
+	WarmSeed(dst[:1], []float64{5}, []float64{0}, 0, nil)
+	if dst[0] != 2.5 {
+		t.Errorf("gamma 0: s[0] = %g, want 2.5", dst[0])
+	}
+}
+
+// TestSolverStepZeroAllocs is the steady-state allocation gate: after
+// NewSolver binds an explicit workspace, each serial MMSIM iteration must
+// perform zero heap allocations.
+func TestSolverStepZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(405))
+	p, _ := spdProblem(rng, 64)
+	sp, err := NewDiagSplitting(p.A, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := NewWorkspace(p.N())
+	sv, err := NewSolver(p, sp, Options{Workers: 1, Workspace: ws, MaxIter: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sv.Close()
+	// Warm up once so lazy runtime state (e.g. stack growth) settles.
+	if _, err := sv.Step(); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := sv.Step(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("MMSIM Step allocated %.1f objects per iteration, want 0", allocs)
+	}
+}
+
+// TestSolverRunMatchesMMSIM pins that the stepping API and the one-shot
+// entry point walk the same iterate sequence.
+func TestSolverRunMatchesMMSIM(t *testing.T) {
+	rng := rand.New(rand.NewSource(406))
+	p, _ := spdProblem(rng, 16)
+	sp, err := NewDiagSplitting(p.A, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Eps: 1e-10, MaxIter: 100000}
+	whole, err := MMSIM(p, sp, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := opts
+	o.Workspace = NewWorkspace(p.N())
+	sv, err := NewSolver(p, sp, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for sv.Iterations() < whole.Iterations {
+		if _, err := sv.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, z := range sv.Z() {
+		if z != whole.Z[i] {
+			t.Fatalf("z[%d] stepped %g vs run %g", i, z, whole.Z[i])
+		}
+	}
+}
+
+func TestWorkspaceEnsure(t *testing.T) {
+	ws := NewWorkspace(10)
+	s := &ws.s[0]
+	ws.Ensure(4)
+	if len(ws.z) != 4 || len(ws.w) != 4 {
+		t.Fatalf("shrink: lengths %d/%d, want 4", len(ws.z), len(ws.w))
+	}
+	if &ws.s[0] != s {
+		t.Error("shrink reallocated the workspace")
+	}
+	ws.Ensure(10)
+	if &ws.s[0] != s {
+		t.Error("regrow within capacity reallocated the workspace")
+	}
+	ws.Ensure(11)
+	if len(ws.sNext) != 11 || len(ws.zPrev) != 11 {
+		t.Fatalf("grow: lengths %d/%d, want 11", len(ws.sNext), len(ws.zPrev))
+	}
+	var nilWS *Workspace
+	_ = nilWS // PutWorkspace tolerates nil
+	PutWorkspace(nil)
+}
+
+func TestZeroDimensionSolve(t *testing.T) {
+	p := &Problem{A: &sparse.CSR{Rows: 0, Cols: 0, RowPtr: []int{0}}, Q: nil}
+	sp, err := NewDiagSplitting(p.A, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := MMSIM(p, sp, Options{MaxIter: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Z) != 0 {
+		t.Errorf("zero-dim Z has length %d", len(res.Z))
+	}
+}

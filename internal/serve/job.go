@@ -150,6 +150,42 @@ func (r *Request) key() string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
+// topoKey derives the warm-store key: a SHA-256 over everything that shapes
+// the solved problem's *structure* — the design source minus cell positions
+// (the "pl" component is excluded from uploads; a suite benchmark's identity
+// is bench+scale) and the structural options (λ enters the penalty matrix,
+// β*/θ*/autotheta shape the cached splitting, boundright changes the
+// constraint set, method/resilient select the solver). Iteration-steering
+// options (eps, max_iter, timeout) are deliberately excluded: they change
+// when the solve stops, not what problem it solves, so an eps sweep over one
+// design shares a single warm state. Two requests with equal topoKey but
+// different exact keys are exactly the near-matches the warm store exists
+// for.
+func (r *Request) topoKey() string {
+	h := sha256.New()
+	o := r.coreOptions()
+	fmt.Fprintf(h, "method=%s|resilient=%v|", r.Method, r.Resilient)
+	fmt.Fprintf(h, "lambda=%g|beta=%g|theta=%g|autotheta=%v|boundright=%v|",
+		o.Lambda, o.Beta, o.Theta, o.AutoTheta, o.BoundRight)
+	if r.Bench != "" {
+		fmt.Fprintf(h, "bench=%s@%g", r.Bench, r.Scale)
+	} else {
+		comps := make([]string, 0, len(r.Files))
+		for k := range r.Files {
+			if k == "pl" {
+				continue // positions are exactly what a near-match perturbs
+			}
+			comps = append(comps, k)
+		}
+		sort.Strings(comps)
+		for _, k := range comps {
+			sum := sha256.Sum256([]byte(r.Files[k]))
+			fmt.Fprintf(h, "file:%s=%x|", k, sum)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
 // loadDesign materializes the job's design. Uploaded Bookshelf components
 // are staged into a throwaway directory for the hardened reader.
 func (r *Request) loadDesign() (*design.Design, error) {
@@ -188,8 +224,12 @@ func (r *Request) loadDesign() (*design.Design, error) {
 }
 
 // solve runs the requested legalizer on d and returns the report. The
-// context carries the job deadline; every solver stage polls it.
-func (r *Request) solve(ctx context.Context, d *design.Design) (*report.Report, error) {
+// context carries the job deadline; every solver stage polls it. A non-nil
+// warm carries solver state across same-topology jobs (method "ours" only;
+// the baseline methods have no iterative state to reuse) — it accelerates
+// the solve when the structure matches and is inert otherwise, never
+// changing the final placement.
+func (r *Request) solve(ctx context.Context, d *design.Design, warm *core.WarmState) (*report.Report, error) {
 	t0 := time.Now()
 	var (
 		stats    *core.Stats
@@ -199,6 +239,7 @@ func (r *Request) solve(ctx context.Context, d *design.Design) (*report.Report, 
 	switch r.Method {
 	case "ours":
 		opts := r.coreOptions()
+		opts.Warm = warm
 		if r.Resilient {
 			rs, err := core.NewResilient(core.ResilientOptions{Base: opts}).LegalizeContext(ctx, d)
 			if err != nil {
@@ -233,6 +274,7 @@ func (r *Request) solve(ctx context.Context, d *design.Design) (*report.Report, 
 	if stats != nil {
 		rep.Iterations = stats.Iterations
 		rep.Converged = stats.Converged
+		rep.Warm = stats.WarmSeeded
 		rep.Illegal = stats.Illegal
 		rep.Unplaced = stats.Unplaced
 		rep.BuildMS = float64(stats.BuildTime) / float64(time.Millisecond)

@@ -58,6 +58,12 @@ type Report struct {
 	// "miss", or empty for a local run.
 	Cache string `json:"cache,omitempty"`
 
+	// Warm reports that the MMSIM was seeded from a previous solve of the
+	// same topology (a warm-store near-match). Warm affects only the
+	// iteration count, never the placement: PosHash is identical to the
+	// cold solve's.
+	Warm bool `json:"warm,omitempty"`
+
 	Placement *Placement `json:"placement,omitempty"`
 }
 

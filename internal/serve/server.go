@@ -26,9 +26,11 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"runtime"
 	"sync"
 	"time"
 
+	"mclg/internal/core"
 	"mclg/internal/mclgerr"
 	"mclg/internal/serve/report"
 )
@@ -44,6 +46,10 @@ type Config struct {
 	// CacheCap bounds the result cache (entries); 0 means 128, negative
 	// disables caching (dedup of concurrent identical jobs still works).
 	CacheCap int
+	// WarmCap bounds the warm-start store (topologies whose solver state is
+	// retained for near-match acceleration); 0 means 32, negative disables
+	// warm starting. See warmStore.
+	WarmCap int
 	// DefaultJobTimeout applies when a request has no timeout_ms;
 	// MaxJobTimeout caps whatever the request asks for.
 	DefaultJobTimeout time.Duration
@@ -63,6 +69,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CacheCap == 0 {
 		c.CacheCap = 128
+	}
+	if c.WarmCap == 0 {
+		c.WarmCap = 32
 	}
 	if c.DefaultJobTimeout <= 0 {
 		c.DefaultJobTimeout = 60 * time.Second
@@ -98,6 +107,7 @@ type job struct {
 type Server struct {
 	cfg   Config
 	cache *resultCache
+	warm  *warmStore
 	stats *serverStats
 	log   *slog.Logger
 
@@ -124,6 +134,7 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:      cfg,
 		cache:    newResultCache(cfg.CacheCap),
+		warm:     newWarmStore(cfg.WarmCap),
 		stats:    newServerStats(),
 		log:      cfg.Logger,
 		queue:    make(chan *job, cfg.QueueCap),
@@ -212,10 +223,40 @@ func (s *Server) runJob(j *job) {
 		if derr != nil {
 			err = mclgerr.Invalid(derr)
 		} else {
+			// Near-match acceleration: the warm store keys solver state by
+			// topology, so a perturbed re-submit of a known design seeds the
+			// MMSIM from the previous solution. Baseline methods carry no
+			// reusable state.
+			var warm *core.WarmState
+			var coldIters int
+			if j.req.Method == "ours" {
+				if warm = s.warm.get(j.req.topoKey()); warm != nil {
+					coldIters = warm.ColdIterations()
+				}
+			}
 			ts := time.Now()
-			rep, err = j.req.solve(j.ctx, d)
+			var m0, m1 runtime.MemStats
+			runtime.ReadMemStats(&m0)
+			rep, err = j.req.solve(j.ctx, d, warm)
+			runtime.ReadMemStats(&m1)
 			solveDur = time.Since(ts)
 			s.stats.observeStage("solve", solveDur.Seconds())
+			// Allocation accounting is process-wide (Mallocs is a global
+			// counter), so with overlapping jobs the per-solve attribution
+			// is approximate; at steady state it trends to the true
+			// allocs/solve and a regression shows up as a trend break.
+			s.stats.solveAllocs.add(m1.Mallocs - m0.Mallocs)
+			s.stats.solveSamples.inc()
+			if warm != nil && err == nil && rep != nil {
+				if rep.Warm {
+					s.warm.hits.inc()
+					if saved := coldIters - rep.Iterations; saved > 0 {
+						s.warm.iterSaved.add(uint64(saved))
+					}
+				} else {
+					s.warm.misses.inc()
+				}
+			}
 		}
 	}
 	total := time.Since(t0)
@@ -367,7 +408,7 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.stats.writePrometheus(w, s.cache)
+	s.stats.writePrometheus(w, s.cache, s.warm)
 }
 
 // respond writes a success payload, cloning the shared report so the cache

@@ -13,8 +13,9 @@ import (
 // counter is a monotonically increasing uint64.
 type counter struct{ v atomic.Uint64 }
 
-func (c *counter) inc()        { c.v.Add(1) }
-func (c *counter) get() uint64 { return c.v.Load() }
+func (c *counter) inc()         { c.v.Add(1) }
+func (c *counter) add(n uint64) { c.v.Add(n) }
+func (c *counter) get() uint64  { return c.v.Load() }
 
 // gauge is a signed instantaneous value (queue depth, in-flight jobs).
 type gauge struct{ v atomic.Int64 }
@@ -68,6 +69,13 @@ type serverStats struct {
 	rejectedFull     counter // 429: queue at capacity
 	rejectedDraining counter // 503: submitted during drain
 
+	// solveAllocs accumulates the process-wide Mallocs delta observed
+	// around each solve; solveSamples counts the solves sampled, so
+	// allocs/solve = solveAllocs / solveSamples. Approximate under
+	// concurrency (see runJob), exact when jobs do not overlap.
+	solveAllocs  counter
+	solveSamples counter
+
 	jobs sync.Map // class string -> *counter
 
 	stages sync.Map // stage string -> *histogram
@@ -96,10 +104,12 @@ func (s *serverStats) observeStage(stage string, seconds float64) {
 	h.(*histogram).observe(seconds)
 }
 
-// writePrometheus renders the registry (and the cache's counters) in the
-// Prometheus text exposition format, series sorted for scrape stability.
-func (s *serverStats) writePrometheus(w io.Writer, cache *resultCache) {
+// writePrometheus renders the registry (and the cache and warm-store
+// counters) in the Prometheus text exposition format, series sorted for
+// scrape stability.
+func (s *serverStats) writePrometheus(w io.Writer, cache *resultCache, warm *warmStore) {
 	entries, hits, misses, evictions := cache.stats()
+	wEntries, wHits, wMisses, wEvictions, wSaved := warm.stats()
 
 	fmt.Fprintf(w, "# HELP mclgd_queue_depth Jobs admitted but not yet picked up by a worker.\n")
 	fmt.Fprintf(w, "# TYPE mclgd_queue_depth gauge\n")
@@ -120,6 +130,29 @@ func (s *serverStats) writePrometheus(w io.Writer, cache *resultCache) {
 	fmt.Fprintf(w, "# HELP mclgd_cache_evictions_total LRU entries dropped past capacity.\n")
 	fmt.Fprintf(w, "# TYPE mclgd_cache_evictions_total counter\n")
 	fmt.Fprintf(w, "mclgd_cache_evictions_total %d\n", evictions)
+
+	fmt.Fprintf(w, "# HELP mclgd_warm_entries Topologies with resident warm-start solver state.\n")
+	fmt.Fprintf(w, "# TYPE mclgd_warm_entries gauge\n")
+	fmt.Fprintf(w, "mclgd_warm_entries %d\n", wEntries)
+	fmt.Fprintf(w, "# HELP mclgd_warm_hits_total Solves seeded from a previous same-topology solution.\n")
+	fmt.Fprintf(w, "# TYPE mclgd_warm_hits_total counter\n")
+	fmt.Fprintf(w, "mclgd_warm_hits_total %d\n", wHits)
+	fmt.Fprintf(w, "# HELP mclgd_warm_misses_total Solves through the warm store that ran cold (first sight or structure change).\n")
+	fmt.Fprintf(w, "# TYPE mclgd_warm_misses_total counter\n")
+	fmt.Fprintf(w, "mclgd_warm_misses_total %d\n", wMisses)
+	fmt.Fprintf(w, "# HELP mclgd_warm_evictions_total Warm states dropped past capacity.\n")
+	fmt.Fprintf(w, "# TYPE mclgd_warm_evictions_total counter\n")
+	fmt.Fprintf(w, "mclgd_warm_evictions_total %d\n", wEvictions)
+	fmt.Fprintf(w, "# HELP mclgd_warm_iterations_saved_total MMSIM iterations saved by warm seeding vs the cold baseline of each topology.\n")
+	fmt.Fprintf(w, "# TYPE mclgd_warm_iterations_saved_total counter\n")
+	fmt.Fprintf(w, "mclgd_warm_iterations_saved_total %d\n", wSaved)
+
+	fmt.Fprintf(w, "# HELP mclgd_solve_allocs_total Heap allocations attributed to solves (process-wide Mallocs delta; approximate under concurrency).\n")
+	fmt.Fprintf(w, "# TYPE mclgd_solve_allocs_total counter\n")
+	fmt.Fprintf(w, "mclgd_solve_allocs_total %d\n", s.solveAllocs.get())
+	fmt.Fprintf(w, "# HELP mclgd_solve_alloc_samples_total Solves sampled for allocation accounting (allocs/solve = allocs_total / samples_total).\n")
+	fmt.Fprintf(w, "# TYPE mclgd_solve_alloc_samples_total counter\n")
+	fmt.Fprintf(w, "mclgd_solve_alloc_samples_total %d\n", s.solveSamples.get())
 
 	fmt.Fprintf(w, "# HELP mclgd_rejected_total Admissions refused, by reason.\n")
 	fmt.Fprintf(w, "# TYPE mclgd_rejected_total counter\n")

@@ -12,11 +12,21 @@ import (
 // arithmetic, and the norm reductions combine fixed-grain chunk partials
 // with max, which is order-insensitive. workers follows the package-wide
 // knob convention: 0 = GOMAXPROCS, 1 = serial.
+//
+// When workers resolves to 1 every *P kernel dispatches to its serial twin
+// before any closure literal is evaluated. The closures passed to par.For
+// capture loop state and therefore escape to the heap even when par.For
+// runs them inline; the early exit keeps the serial hot path (the MMSIM
+// steady state under Workers=1) allocation-free.
 
 // AbsP is Abs sharded over fixed chunks.
 func AbsP(workers int, dst, x []float64) {
 	if len(dst) != len(x) {
 		panic("sparse: Abs length mismatch")
+	}
+	if par.Resolve(workers) <= 1 {
+		Abs(dst, x)
+		return
 	}
 	par.For(workers, len(x), par.GrainVec, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -30,6 +40,10 @@ func AxpyP(workers int, dst []float64, alpha float64, x []float64) {
 	if len(dst) != len(x) {
 		panic("sparse: Axpy length mismatch")
 	}
+	if par.Resolve(workers) <= 1 {
+		Axpy(dst, alpha, x)
+		return
+	}
 	par.For(workers, len(dst), par.GrainVec, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			dst[i] += alpha * x[i]
@@ -41,6 +55,9 @@ func AxpyP(workers int, dst []float64, alpha float64, x []float64) {
 func DiffNormInfP(workers int, a, b []float64) float64 {
 	if len(a) != len(b) {
 		panic("sparse: DiffNormInf length mismatch")
+	}
+	if par.Resolve(workers) <= 1 {
+		return DiffNormInf(a, b)
 	}
 	return par.ReduceMax(workers, len(a), par.GrainVec, func(lo, hi int) float64 {
 		m := 0.0
@@ -59,6 +76,10 @@ func (m *CSR) MulVecP(workers int, dst, x []float64) {
 	if len(dst) != m.Rows || len(x) != m.Cols {
 		panic("sparse: MulVec dimension mismatch")
 	}
+	if par.Resolve(workers) <= 1 {
+		m.MulVec(dst, x)
+		return
+	}
 	par.For(workers, m.Rows, par.GrainRows, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			s := 0.0
@@ -74,6 +95,10 @@ func (m *CSR) MulVecP(workers int, dst, x []float64) {
 func (m *CSR) AddMulVecP(workers int, dst, x []float64, alpha float64) {
 	if len(dst) != m.Rows || len(x) != m.Cols {
 		panic("sparse: AddMulVec dimension mismatch")
+	}
+	if par.Resolve(workers) <= 1 {
+		m.AddMulVec(dst, x, alpha)
+		return
 	}
 	par.For(workers, m.Rows, par.GrainRows, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -93,6 +118,10 @@ func (t *Tridiag) MulVecP(workers int, dst, x []float64) {
 	n := t.N()
 	if len(dst) != n || len(x) != n {
 		panic("sparse: Tridiag.MulVec dimension mismatch")
+	}
+	if par.Resolve(workers) <= 1 {
+		t.MulVec(dst, x)
+		return
 	}
 	par.For(workers, n, par.GrainVec, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
