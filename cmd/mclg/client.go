@@ -59,11 +59,12 @@ func submitRemote(serverURL string, req *serve.Request, timeout time.Duration) (
 
 // remoteRequest translates the CLI flags into a serve.Request. aux designs
 // are uploaded inline; bench designs travel by name.
-func remoteRequest(auxPath, bench string, scale float64, method string, resilient bool,
+func remoteRequest(auxPath, bench string, scale float64, method string, resilient, auditRun bool,
 	opts serve.OptionsJSON, timeout time.Duration, wantPlacement bool) (*serve.Request, error) {
 	req := &serve.Request{
 		Method:           method,
 		Resilient:        resilient,
+		Audit:            auditRun,
 		Options:          &opts,
 		IncludePlacement: wantPlacement,
 	}

@@ -24,6 +24,7 @@ import (
 	"syscall"
 	"time"
 
+	"mclg/internal/audit"
 	"mclg/internal/baselines/chow"
 	"mclg/internal/baselines/wang"
 	"mclg/internal/bookshelf"
@@ -64,14 +65,18 @@ func main() {
 		workers    = flag.Int("workers", 0, "worker goroutines for the hot stages: 0 = all cores, 1 = serial (any value gives identical output)")
 		serverURL  = flag.String("server", "", "submit the job to a running mclgd at this base URL instead of solving locally")
 		jsonOut    = flag.Bool("json", false, "emit the machine-readable run report (mclgd schema) on stdout")
+		auditRun   = flag.Bool("audit", false, "audit the result: re-run the pipeline independently, recompute optimality residuals, cross-check against a reference solve, and print the sealed certificate (exit 1 unless it passes)")
 	)
 	flag.Parse()
 	if *jsonOut {
 		info = os.Stderr
 	}
+	if *auditRun && (*method != "ours" || *resilient || *refineObj != "") {
+		fatal(fmt.Errorf("-audit certifies the standard pipeline: method ours, without -resilient or -refine"))
+	}
 
 	if *serverURL != "" {
-		runRemote(*serverURL, *auxPath, *benchName, *scale, *method, *resilient,
+		runRemote(*serverURL, *auxPath, *benchName, *scale, *method, *resilient, *auditRun,
 			serve.OptionsJSON{
 				Lambda: *lambda, Beta: *beta, Theta: *theta, Eps: *eps,
 				AutoTheta: *autoTheta, BoundRight: *boundRight, Workers: *workers,
@@ -128,10 +133,11 @@ func main() {
 		rung        string
 		numAttempts int
 	)
+	oursOpts := core.Options{Lambda: *lambda, Beta: *beta, Theta: *theta, Eps: *eps,
+		AutoTheta: *autoTheta, BoundRight: *boundRight, Workers: *workers}
 	switch *method {
 	case "ours":
-		opts := core.Options{Lambda: *lambda, Beta: *beta, Theta: *theta, Eps: *eps,
-			AutoTheta: *autoTheta, BoundRight: *boundRight, Workers: *workers}
+		opts := oursOpts
 		if *resilient {
 			rs, err := core.NewResilient(core.ResilientOptions{Base: opts}).LegalizeContext(ctx, d)
 			if err != nil {
@@ -221,6 +227,22 @@ func main() {
 	}
 	fmt.Fprintf(info, "legality: %s\n", lrep)
 
+	// Audit-on-demand: the auditor re-runs the pipeline from the global
+	// placement on its own clones, so the certificate is an independent
+	// verdict on the result just printed — its PosHash must reproduce it.
+	if *auditRun {
+		cert, err := audit.Run(ctx, d, audit.Options{Core: oursOpts})
+		if err != nil {
+			fatal(err)
+		}
+		rep.Certificate = cert
+		fmt.Fprintf(info, "%s\n", cert.Summary())
+		if cert.PosHash != rep.PosHash {
+			fmt.Fprintf(info, "audit: re-run placement %s does not reproduce this run's %s\n",
+				cert.PosHash, rep.PosHash)
+		}
+	}
+
 	if *jsonOut {
 		printJSON(rep)
 	}
@@ -231,16 +253,19 @@ func main() {
 	if !rep.Legal {
 		os.Exit(1)
 	}
+	if c := rep.Certificate; c != nil && (!c.Pass || c.PosHash != rep.PosHash) {
+		os.Exit(1)
+	}
 }
 
 // runRemote is the -server flow: submit, report, optionally write the
 // returned placement back as Bookshelf.
-func runRemote(serverURL, auxPath, bench string, scale float64, method string, resilient bool,
+func runRemote(serverURL, auxPath, bench string, scale float64, method string, resilient, auditRun bool,
 	opts serve.OptionsJSON, timeout time.Duration, outPath string, jsonOut, localOnlyFlags bool) {
 	if localOnlyFlags {
 		fatal(fmt.Errorf("-gp, -check and -refine run locally and cannot be combined with -server"))
 	}
-	req, err := remoteRequest(auxPath, bench, scale, method, resilient, opts, timeout, outPath != "")
+	req, err := remoteRequest(auxPath, bench, scale, method, resilient, auditRun, opts, timeout, outPath != "")
 	if err != nil {
 		fatal(err)
 	}
@@ -259,6 +284,9 @@ func runRemote(serverURL, auxPath, bench string, scale float64, method string, r
 		legality = "legal"
 	}
 	fmt.Fprintf(info, "legality: %s\n", legality)
+	if rep.Certificate != nil {
+		fmt.Fprintf(info, "%s\n", rep.Certificate.Summary())
+	}
 	if jsonOut {
 		printJSON(rep)
 	}
@@ -273,6 +301,9 @@ func runRemote(serverURL, auxPath, bench string, scale float64, method string, r
 		writeLegalized(d, outPath)
 	}
 	if !rep.Legal {
+		os.Exit(1)
+	}
+	if c := rep.Certificate; c != nil && (!c.Pass || c.PosHash != rep.PosHash) {
 		os.Exit(1)
 	}
 }

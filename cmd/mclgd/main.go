@@ -33,6 +33,7 @@ func main() {
 		queueCap     = flag.Int("queue", 8, "job queue capacity (admissions past it get 429)")
 		cacheCap     = flag.Int("cache", 128, "result cache capacity in entries (negative disables)")
 		warmCap      = flag.Int("warm-cache", 32, "warm-start store capacity in topologies (negative disables)")
+		auditAll     = flag.Bool("audit", false, "audit every eligible job on commit (method ours, non-resilient): responses carry sealed optimality certificates")
 		pprofOn      = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (off by default)")
 		jobTimeout   = flag.Duration("job-timeout", 60*time.Second, "default per-job deadline (requests may shorten it)")
 		maxJobTime   = flag.Duration("max-job-timeout", 2*time.Minute, "hard cap on any per-job deadline")
@@ -48,6 +49,7 @@ func main() {
 		WarmCap:           *warmCap,
 		DefaultJobTimeout: *jobTimeout,
 		MaxJobTimeout:     *maxJobTime,
+		AuditAll:          *auditAll,
 		Logger:            logger,
 	})
 
@@ -69,7 +71,8 @@ func main() {
 	}
 	httpSrv := &http.Server{Handler: handler}
 	logger.Info("mclgd listening", "addr", ln.Addr().String(),
-		"pool", *pool, "queue", *queueCap, "cache", *cacheCap, "warm", *warmCap)
+		"pool", *pool, "queue", *queueCap, "cache", *cacheCap, "warm", *warmCap,
+		"audit", *auditAll)
 
 	errCh := make(chan error, 1)
 	go func() {

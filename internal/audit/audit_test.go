@@ -1,0 +1,144 @@
+package audit
+
+import (
+	"context"
+	"testing"
+
+	"mclg/internal/design"
+	"mclg/internal/gen"
+)
+
+// trioCases mirrors the regress fixture: the three suite benchmarks at the
+// scales the golden metrics pin.
+var trioCases = []struct {
+	bench string
+	scale float64
+}{
+	{"des_perf_1", 0.004},
+	{"fft_2", 0.004},
+	{"superblue19", 0.002},
+}
+
+func trioDesign(t *testing.T, bench string, scale float64) *design.Design {
+	t.Helper()
+	e, err := gen.FindEntry(bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := gen.Generate(gen.SuiteSpec(e, scale))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestAuditTrio is the acceptance fixture: certificates on the regress trio
+// must show scale-normalized complementarity at most 1e-8 and an
+// MMSIM-vs-reference max |Δx| within the differential tolerance, at every
+// worker count of the determinism contract — and because the whole pipeline
+// is deterministic, the sealed certificates of all worker counts must be
+// byte-identical (equal hashes).
+func TestAuditTrio(t *testing.T) {
+	for _, c := range trioCases {
+		c := c
+		t.Run(c.bench, func(t *testing.T) {
+			d := trioDesign(t, c.bench, c.scale)
+			var hashes []string
+			for _, workers := range []int{1, 2, 8} {
+				opts := Options{}
+				opts.Core.Workers = workers
+				cert, err := Run(context.Background(), d, opts)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if !cert.Legal {
+					t.Errorf("workers=%d: production placement illegal (%d violations)", workers, cert.ViolationCount)
+				}
+				if !cert.Converged {
+					t.Errorf("workers=%d: audit solve did not converge in %d iterations", workers, cert.Iterations)
+				}
+				if cert.Complementarity > 1e-8 {
+					t.Errorf("workers=%d: complementarity %g > 1e-8", workers, cert.Complementarity)
+				}
+				if cert.PrimalInfeas > 1e-8 || cert.DualInfeas > 1e-8 {
+					t.Errorf("workers=%d: infeasibility primal=%g dual=%g", workers, cert.PrimalInfeas, cert.DualInfeas)
+				}
+				if !cert.Optimal {
+					t.Errorf("workers=%d: certificate not optimal: %s", workers, cert.Summary())
+				}
+				if cert.Reference == nil {
+					t.Fatalf("workers=%d: no reference cross-check", workers)
+				}
+				if cert.Reference.Err != "" {
+					t.Fatalf("workers=%d: reference solve failed: %s", workers, cert.Reference.Err)
+				}
+				if !cert.Reference.Pass {
+					t.Errorf("workers=%d: reference %s max|Δx| = %g > %g", workers,
+						cert.Reference.Method, cert.Reference.MaxDX, cert.Reference.Tol)
+				}
+				if !cert.Pass {
+					t.Errorf("workers=%d: certificate FAIL: %s", workers, cert.Summary())
+				}
+				if !cert.Verify() {
+					t.Errorf("workers=%d: certificate hash does not verify", workers)
+				}
+				hashes = append(hashes, cert.Hash)
+			}
+			for i := 1; i < len(hashes); i++ {
+				if hashes[i] != hashes[0] {
+					t.Errorf("certificate hash differs across worker counts: %s vs %s", hashes[0], hashes[i])
+				}
+			}
+		})
+	}
+}
+
+// The subcell-equality residual ‖Ex‖∞ must be small relative to λ: the
+// penalty formulation leaves a mismatch of order displacement/λ, which the
+// restoration averages away. Pin the order of magnitude so a λ-handling
+// regression (e.g. dropping the penalty) fails loudly.
+func TestAuditSubcellResidualBounded(t *testing.T) {
+	d := trioDesign(t, "des_perf_1", 0.004)
+	cert, err := Run(context.Background(), d, Options{SkipBaselines: true, SkipReference: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.SubcellResidual > 0.1 {
+		t.Errorf("subcell residual %g > 0.1 DBU — λ penalty not binding subcells", cert.SubcellResidual)
+	}
+	if cert.SubcellResidual == 0 {
+		t.Error("subcell residual exactly 0 on a design with multi-row cells — not measuring Ex")
+	}
+}
+
+func TestCertificateSealVerify(t *testing.T) {
+	d := trioDesign(t, "fft_2", 0.004)
+	cert, err := Run(context.Background(), d, Options{SkipBaselines: true, SkipReference: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.Hash == "" {
+		t.Fatal("Run returned an unsealed certificate")
+	}
+	if !cert.Verify() {
+		t.Fatal("freshly sealed certificate fails verification")
+	}
+	cert.Complementarity *= 2 // tamper
+	if cert.Verify() {
+		t.Error("tampered certificate still verifies")
+	}
+}
+
+// The certified production placement must match the regress pipeline's
+// result exactly: auditing must observe, never perturb.
+func TestAuditMatchesRegressPlacement(t *testing.T) {
+	d := trioDesign(t, "fft_2", 0.004)
+	want := regressHash(t, d)
+	cert, err := Run(context.Background(), d, Options{SkipBaselines: true, SkipReference: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.PosHash != want {
+		t.Errorf("audit PosHash %s != pipeline hash %s", cert.PosHash, want)
+	}
+}

@@ -1,0 +1,124 @@
+package audit
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// Certificate is the machine-readable outcome of an audit run. All residuals
+// are scale-normalized (divided by Scale = max(1, ‖q‖∞)); SubcellResidual is
+// in raw database units. The field set and JSON encoding are stable: Hash is
+// a SHA-256 over the canonical JSON with Hash itself blanked, so two runs
+// that certify the same result produce byte-identical sealed certificates.
+type Certificate struct {
+	Design  string `json:"design"`
+	Cells   int    `json:"cells"`
+	Movable int    `json:"movable"`
+	Vars    int    `json:"vars"`
+	Cons    int    `json:"cons"`
+
+	// Relaxed-problem optimality (Theorem 2).
+	Scale           float64 `json:"scale"`
+	Complementarity float64 `json:"complementarity"`
+	PrimalInfeas    float64 `json:"primal_infeas"`
+	DualInfeas      float64 `json:"dual_infeas"`
+	SubcellResidual float64 `json:"subcell_residual"`
+	BoundaryCells   int     `json:"boundary_cells"`
+	Iterations      int     `json:"iterations"`
+	Converged       bool    `json:"converged"`
+	Optimal         bool    `json:"optimal"`
+	// TheoremTwo reports the paper's precondition for the relaxed optimum
+	// to be exact for the original problem: no cell crosses the right
+	// boundary (or the exact boundary constraints were in the LCP).
+	TheoremTwo bool `json:"theorem_two"`
+
+	// Differential cross-checks.
+	Reference *Reference `json:"reference,omitempty"`
+	Baselines []Baseline `json:"baselines,omitempty"`
+
+	// Production placement verdict.
+	Legal          bool    `json:"legal"`
+	ViolationCount int     `json:"violations"`
+	Displacement   float64 `json:"displacement_sites"`
+	PosHash        string  `json:"pos_hash"`
+
+	Pass bool   `json:"pass"`
+	Hash string `json:"hash,omitempty"`
+}
+
+// Reference records the differential cross-check of the MMSIM relaxed
+// solution against the independent reference solve.
+type Reference struct {
+	Method string  `json:"method"` // "dense-qp" or "dual-pgs"
+	MaxDX  float64 `json:"max_dx"` // max_v |x_mmsim − x_ref| in DBU
+	Tol    float64 `json:"tol"`
+	Iters  int     `json:"iters"`
+	Pass   bool    `json:"pass"`
+	Err    string  `json:"err,omitempty"`
+}
+
+// Baseline records a quality-sanity comparison against one baseline
+// legalizer. Ratio is ours/theirs total displacement (lower is better for
+// us); Err marks baselines that could not run on this design.
+type Baseline struct {
+	Name         string  `json:"name"`
+	Displacement float64 `json:"displacement_sites"`
+	Ratio        float64 `json:"ratio"`
+	Legal        bool    `json:"legal"`
+	Pass         bool    `json:"pass"`
+	Err          string  `json:"err,omitempty"`
+}
+
+// Seal computes and stores the certificate hash. Any later mutation
+// invalidates it (Verify detects this).
+func (c *Certificate) Seal() error {
+	c.Hash = ""
+	h, err := c.digest()
+	if err != nil {
+		return err
+	}
+	c.Hash = h
+	return nil
+}
+
+// Verify recomputes the digest and reports whether the stored hash matches.
+func (c *Certificate) Verify() bool {
+	stored := c.Hash
+	if stored == "" {
+		return false
+	}
+	c.Hash = ""
+	h, err := c.digest()
+	c.Hash = stored
+	return err == nil && h == stored
+}
+
+func (c *Certificate) digest() (string, error) {
+	b, err := json.Marshal(c)
+	if err != nil {
+		return "", fmt.Errorf("audit: hashing certificate: %w", err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// Summary renders the one-line human-readable verdict.
+func (c *Certificate) Summary() string {
+	verdict := "FAIL"
+	if c.Pass {
+		verdict = "PASS"
+	}
+	s := fmt.Sprintf("audit %s: %s — legal=%v optimal=%v compl=%.3g primal=%.3g dual=%.3g subcell=%.3g boundary=%d",
+		c.Design, verdict, c.Legal, c.Optimal,
+		c.Complementarity, c.PrimalInfeas, c.DualInfeas, c.SubcellResidual, c.BoundaryCells)
+	if c.Reference != nil {
+		if c.Reference.Err != "" {
+			s += fmt.Sprintf(" ref=%s(err)", c.Reference.Method)
+		} else {
+			s += fmt.Sprintf(" ref=%s|Δx|=%.3g", c.Reference.Method, c.Reference.MaxDX)
+		}
+	}
+	return s
+}

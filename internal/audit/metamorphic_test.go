@@ -1,0 +1,148 @@
+package audit
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"mclg/internal/core"
+	"mclg/internal/design"
+	"mclg/internal/gen"
+	"mclg/internal/metrics"
+)
+
+func genDesigns(t testing.TB, specs []gen.Spec) []*design.Design {
+	t.Helper()
+	out := make([]*design.Design, 0, len(specs))
+	for _, s := range specs {
+		d, err := gen.Generate(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+var metamorphicSpecs = []gen.Spec{
+	{Name: "meta-single", SingleCells: 150, Density: 0.6, Seed: 7},
+	{Name: "meta-mixed", SingleCells: 120, DoubleCells: 20, TripleCells: 10, FixedMacros: 2, Density: 0.7, Seed: 11},
+	{Name: "meta-dense", SingleCells: 200, Density: 0.85, Seed: 13},
+	{Name: "meta-double", SingleCells: 80, DoubleCells: 40, Density: 0.65, Seed: 17},
+}
+
+// TestMetamorphicSuite is the CI smoke of the fuzz harness: the standard
+// transform battery on a spread of design shapes must produce zero
+// invariance violations.
+func TestMetamorphicSuite(t *testing.T) {
+	ds := genDesigns(t, metamorphicSpecs)
+	rep, err := Metamorphic(context.Background(), ds, DefaultTransforms(), core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) != 0 {
+		for _, v := range rep.Violations {
+			t.Errorf("invariance violation: %s", v)
+		}
+	}
+	if want := len(metamorphicSpecs) * (1 + len(DefaultTransforms())); rep.Runs != want {
+		t.Errorf("runs = %d, want %d", rep.Runs, want)
+	}
+}
+
+// The transforms themselves must preserve the instance: same cell count,
+// valid geometry, and — since global HPWL is translation- and
+// mirror-invariant and blind to numbering — identical global wirelength.
+func TestTransformsPreserveInstance(t *testing.T) {
+	d := genDesigns(t, metamorphicSpecs[1:2])[0]
+	base := metrics.HPWLGlobal(d)
+	for _, tr := range DefaultTransforms() {
+		td := tr.Apply(d.Clone())
+		if err := td.Validate(); err != nil {
+			t.Errorf("%s: transformed design invalid: %v", tr.Name, err)
+			continue
+		}
+		if len(td.Cells) != len(d.Cells) || len(td.Nets) != len(d.Nets) {
+			t.Errorf("%s: cell/net count changed", tr.Name)
+		}
+		got := metrics.HPWLGlobal(td)
+		if math.Abs(got-base) > 1e-6*math.Max(1, base) {
+			t.Errorf("%s: global HPWL changed: %g vs %g", tr.Name, got, base)
+		}
+	}
+}
+
+// A far translate must keep the placement legal after legalization — the
+// scale-aware alignment tolerance regression at pipeline level (with an
+// absolute eps the checker flags every cell of a 1e9-site-offset core).
+func TestTranslateFarOriginPipeline(t *testing.T) {
+	d := genDesigns(t, metamorphicSpecs[0:1])[0]
+	td := Translate(1_000_000_000, 0).Apply(d)
+	td.ResetToGlobal()
+	if _, err := core.New(core.DefaultOptions()).Legalize(td); err != nil {
+		t.Fatal(err)
+	}
+	rep := design.CheckLegal(td)
+	if !rep.Legal() {
+		t.Errorf("far-origin pipeline result flagged illegal: %v", rep)
+	}
+}
+
+// PermuteCells must be an involution-compatible relabeling: applying it and
+// mapping names back reproduces the identical cell set.
+func TestPermuteCellsIsRelabeling(t *testing.T) {
+	d := genDesigns(t, metamorphicSpecs[3:4])[0]
+	td := PermuteCells(99).Apply(d.Clone())
+	byName := map[string]*design.Cell{}
+	for _, c := range td.Cells {
+		if _, dup := byName[c.Name]; dup {
+			t.Fatalf("duplicate name %s after permute", c.Name)
+		}
+		byName[c.Name] = c
+	}
+	for _, c := range d.Cells {
+		tc, ok := byName[c.Name]
+		if !ok {
+			t.Fatalf("cell %s lost in permutation", c.Name)
+		}
+		if tc.GX != c.GX || tc.GY != c.GY || tc.W != c.W || tc.H != c.H ||
+			tc.Fixed != c.Fixed || tc.BottomRail != c.BottomRail {
+			t.Errorf("cell %s changed under permutation", c.Name)
+		}
+	}
+}
+
+// FuzzMetamorphic drives the invariance harness from fuzzed design specs:
+// any corpus entry that legalizes must keep its legality verdict and
+// relaxed objective invariant under the standard transforms. Run in CI with
+// a short -fuzztime budget.
+func FuzzMetamorphic(f *testing.F) {
+	f.Add(int64(1), uint8(80), uint8(10), uint8(0), uint8(60))
+	f.Add(int64(7), uint8(150), uint8(0), uint8(5), uint8(80))
+	f.Add(int64(42), uint8(50), uint8(20), uint8(10), uint8(70))
+	f.Fuzz(func(t *testing.T, seed int64, singles, doubles, triples, density uint8) {
+		if singles == 0 {
+			singles = 1
+		}
+		dens := 0.3 + 0.6*float64(density%100)/100
+		spec := gen.Spec{
+			Name:        "fuzz",
+			SingleCells: int(singles),
+			DoubleCells: int(doubles % 40),
+			TripleCells: int(triples % 20),
+			Density:     dens,
+			Seed:        seed,
+		}
+		d, err := gen.Generate(spec)
+		if err != nil {
+			t.Skip() // infeasible spec, not an invariance question
+		}
+		rep, err := Metamorphic(context.Background(), []*design.Design{d}, DefaultTransforms(), core.DefaultOptions())
+		if err != nil {
+			t.Skipf("pipeline failed on fuzzed spec: %v", err)
+		}
+		for _, v := range rep.Violations {
+			t.Errorf("invariance violation: %s", v)
+		}
+	})
+}

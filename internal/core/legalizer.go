@@ -306,6 +306,19 @@ func SolveMMSIM(p *Problem, opts Options) ([]float64, *SolveStats, error) {
 // previous solution (see WarmState); the warm path changes only the
 // starting iterate, never the fixed point the iteration converges to.
 func SolveMMSIMContext(ctx context.Context, p *Problem, opts Options) ([]float64, *SolveStats, error) {
+	z, st, err := SolveMMSIMFull(ctx, p, opts)
+	if err != nil || z == nil {
+		return nil, st, err
+	}
+	return z[:p.NumVars], st, nil
+}
+
+// SolveMMSIMFull is SolveMMSIMContext returning the complete LCP solution
+// z = [x; μ] (length NumVars+NumCons) instead of just the position head: the
+// multiplier tail is what the audit layer needs to recompute KKT/LCP
+// residuals independently of the solver's own convergence flag. The caller
+// owns the returned slice.
+func SolveMMSIMFull(ctx context.Context, p *Problem, opts Options) ([]float64, *SolveStats, error) {
 	st := &SolveStats{ThetaUsed: opts.Theta}
 	if p.NumVars == 0 {
 		st.Converged = true
@@ -439,18 +452,19 @@ func SolveMMSIMContext(ctx context.Context, p *Problem, opts Options) ([]float64
 	}
 	st.Iterations = res.Iterations
 	st.Converged = res.Converged
-	x := res.Z[:p.NumVars]
+	z := res.Z
 	if warm != nil {
-		// Retain the solution for the next seed, then detach x from the
-		// shared workspace before the mutex is released.
+		// Retain the solution for the next seed, then detach z from the
+		// shared workspace before the mutex is released (still one
+		// allocation, matching the warm path's alloc budget).
 		warm.prevZ = append(warm.prevZ[:0], res.Z...)
 		warm.haveZ = true
 		if !st.WarmSeeded {
 			warm.coldIters = res.Iterations
 		}
-		x = append([]float64(nil), x...)
+		z = append([]float64(nil), res.Z...)
 	}
-	return x, st, nil
+	return z, st, nil
 }
 
 // Restore writes the solved subcell positions back to the design's cells:

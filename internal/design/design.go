@@ -242,7 +242,7 @@ func (d *Design) Clone() *Design {
 		out.Cells[i] = &cc
 	}
 	for i, n := range d.Nets {
-		out.Nets[i] = Net{Name: n.Name, Pins: append([]Pin(nil), n.Pins...)}
+		out.Nets[i] = Net{Name: n.Name, Weight: n.Weight, Pins: append([]Pin(nil), n.Pins...)}
 	}
 	return out
 }

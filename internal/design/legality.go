@@ -52,6 +52,20 @@ func (r *LegalityReport) String() string {
 		r.Count(VRailMismatch), r.Count(VOverlap))
 }
 
+// alignTol returns the scale-aware tolerance for site/row alignment checks.
+// The quotient (coord − origin) / unit carries round-off proportional to the
+// magnitude of the operands, so for cores far from the coordinate origin a
+// fixed absolute tolerance produces false off-site/off-row violations. The
+// tolerance scales with the number of representable units of round-off at
+// the operands' magnitude, and is capped at a tenth of a unit so it can
+// never absorb a genuinely misaligned position.
+func alignTol(coord, origin, unit float64) float64 {
+	const eps = 1e-6
+	scale := math.Max(math.Abs(coord), math.Abs(origin)) / unit
+	tol := eps * math.Max(1, scale*1e-6)
+	return math.Min(tol, 0.1)
+}
+
 // CheckLegal validates the full set of legalization constraints from the
 // paper's problem statement (Section 2.1):
 //
@@ -60,7 +74,11 @@ func (r *LegalityReport) String() string {
 //  3. no two cells overlapping,
 //  4. even-row-span cells aligned to a matching power rail.
 //
-// Fixed cells participate in overlap checking but are otherwise exempt.
+// Fixed cells are exempt from the alignment constraints, and overlaps
+// between two fixed cells are not reported either: pre-existing blockage
+// overlaps are a property of the input, not of the legalization result, and
+// no legalizer can repair them. A fixed cell overlapping a movable cell is
+// still a violation.
 func CheckLegal(d *Design) *LegalityReport {
 	rep := &LegalityReport{}
 	const eps = 1e-6
@@ -76,9 +94,9 @@ func CheckLegal(d *Design) *LegalityReport {
 				Msg: fmt.Sprintf("cell %d at %v outside core %v", c.ID, b, d.Core),
 			})
 		}
-		// Site alignment.
+		// Site alignment, tolerance scaled for far-from-origin cores.
 		fs := (c.X - d.Core.Lo.X) / d.SiteW
-		if math.Abs(fs-math.Round(fs)) > eps {
+		if math.Abs(fs-math.Round(fs)) > alignTol(c.X, d.Core.Lo.X, d.SiteW) {
 			rep.Violations = append(rep.Violations, Violation{
 				Kind: VOffSite, Cells: []int{c.ID},
 				Msg: fmt.Sprintf("cell %d x=%g not on site grid (site width %g)", c.ID, c.X, d.SiteW),
@@ -87,7 +105,7 @@ func CheckLegal(d *Design) *LegalityReport {
 		// Row alignment.
 		fr := (c.Y - d.Core.Lo.Y) / d.RowHeight
 		row := int(math.Round(fr))
-		if math.Abs(fr-float64(row)) > eps || row < 0 || row+c.RowSpan > len(d.Rows) {
+		if math.Abs(fr-float64(row)) > alignTol(c.Y, d.Core.Lo.Y, d.RowHeight) || row < 0 || row+c.RowSpan > len(d.Rows) {
 			rep.Violations = append(rep.Violations, Violation{
 				Kind: VOffRow, Cells: []int{c.ID},
 				Msg: fmt.Sprintf("cell %d y=%g not on a row boundary", c.ID, c.Y),
@@ -108,16 +126,20 @@ func CheckLegal(d *Design) *LegalityReport {
 
 // findOverlaps detects pairwise overlaps with a sweep over x-sorted cells,
 // O(n log n + k) for k overlaps in typical row-structured placements.
+// Overlaps between two fixed cells are skipped (see CheckLegal). The sweep
+// order breaks x ties by cell ID, so the violation list is identical from
+// run to run — audit certificates hash it and must get a stable ordering.
 func findOverlaps(d *Design) []Violation {
-	type entry struct {
-		id int
-	}
 	idx := make([]int, len(d.Cells))
 	for i := range idx {
 		idx[i] = i
 	}
 	sort.Slice(idx, func(a, b int) bool {
-		return d.Cells[idx[a]].X < d.Cells[idx[b]].X
+		ca, cb := d.Cells[idx[a]], d.Cells[idx[b]]
+		if ca.X != cb.X {
+			return ca.X < cb.X
+		}
+		return ca.ID < cb.ID
 	})
 	var out []Violation
 	// Active window: cells whose x-span may still intersect the sweep line.
@@ -130,6 +152,9 @@ func findOverlaps(d *Design) []Violation {
 			cj := d.Cells[j]
 			if cj.X+cj.W > bi.Lo.X {
 				keep = append(keep, j)
+				if ci.Fixed && cj.Fixed {
+					continue // input blockage overlap, not a legalization failure
+				}
 				if bi.Overlaps(cj.Bounds()) {
 					a, b := ci.ID, cj.ID
 					if a > b {

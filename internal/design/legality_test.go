@@ -109,6 +109,102 @@ func TestCheckLegalFixedCellsExemptButCollide(t *testing.T) {
 	}
 }
 
+// Regression: two overlapping fixed cells (pre-existing blockage overlap in
+// the input) must not mark an otherwise-legal placement illegal — no
+// legalizer can repair what it is not allowed to move.
+func TestCheckLegalFixedFixedOverlapExempt(t *testing.T) {
+	d := smallDesign()
+	f1 := d.AddCell("f1", 8, 10, VSS)
+	f1.Fixed = true
+	place(f1, 10, 0)
+	f2 := d.AddCell("f2", 8, 10, VSS)
+	f2.Fixed = true
+	place(f2, 14, 0) // overlaps f1 — both fixed
+	a := d.AddCell("a", 4, 10, VSS)
+	place(a, 30, 0)
+	rep := CheckLegal(d)
+	if !rep.Legal() {
+		t.Errorf("fixed-fixed overlap flagged the placement illegal: %v", rep)
+	}
+	// A movable cell overlapping a fixed cell is still a violation.
+	place(a, 12, 0)
+	if rep := CheckLegal(d); rep.Count(VOverlap) == 0 {
+		t.Errorf("fixed-movable overlap must still be reported: %v", rep)
+	}
+}
+
+// Regression: a core far from the coordinate origin accumulates round-off in
+// (c.X − Core.Lo.X) / SiteW past the old absolute 1e-6 tolerance, flagging
+// perfectly site-aligned cells off-site. The tolerance must scale with the
+// coordinate magnitude.
+func TestCheckLegalFarOriginCore(t *testing.T) {
+	const origin = 1e12 + 0.1 // ulp ≈ 1.2e-4 at this magnitude
+	d := NewDesign(Config{
+		Name: "far", NumRows: 4, NumSites: 100, RowHeight: 10, SiteW: 1,
+		OriginX: origin, OriginY: origin,
+	})
+	a := d.AddCell("a", 4, 10, VSS)
+	// Simulate what a solver computes: position derived through arithmetic
+	// that rounds at the core's magnitude.
+	x := d.SnapX(origin + 37.4999)
+	place(a, x, d.RowY(2))
+	rep := CheckLegal(d)
+	if rep.Count(VOffSite) != 0 || rep.Count(VOffRow) != 0 {
+		t.Errorf("far-origin aligned cell flagged: %v", rep)
+	}
+	// A genuinely misaligned cell must still be caught: half a site off.
+	place(a, x+0.5, d.RowY(2))
+	if rep := CheckLegal(d); rep.Count(VOffSite) != 1 {
+		t.Errorf("misaligned far-origin cell not flagged: %v", rep)
+	}
+	// And half a row off.
+	place(a, x, d.RowY(2)+5)
+	if rep := CheckLegal(d); rep.Count(VOffRow) != 1 {
+		t.Errorf("off-row far-origin cell not flagged: %v", rep)
+	}
+}
+
+// Regression: violation output must be deterministic run to run, including
+// cells with identical x positions — audit certificates hash the violation
+// list and need a stable ordering.
+func TestFindOverlapsDeterministicOrder(t *testing.T) {
+	build := func() []Violation {
+		d := smallDesign()
+		// Many cells at identical x positions across rows, all overlapping a
+		// wide cell in their row — x ties everywhere, so only the ID
+		// tie-break keeps the sweep order stable.
+		for row := 0; row < 4; row++ {
+			w := d.AddCell("w", 20, 10, VSS)
+			place(w, 0, d.RowY(row))
+			for k := 0; k < 5; k++ {
+				c := d.AddCell("c", 4, 10, VSS)
+				place(c, float64(4*k), d.RowY(row))
+			}
+		}
+		return CheckLegal(d).Violations
+	}
+	a := build()
+	for run := 0; run < 5; run++ {
+		b := build()
+		if len(a) != len(b) {
+			t.Fatalf("violation count changed between runs: %d vs %d", len(a), len(b))
+		}
+		for i := range a {
+			if a[i].Kind != b[i].Kind || a[i].Msg != b[i].Msg ||
+				a[i].Cells[0] != b[i].Cells[0] || a[i].Cells[1] != b[i].Cells[1] {
+				t.Fatalf("run %d: violation %d differs: %v vs %v", run, i, a[i], b[i])
+			}
+		}
+	}
+	// Pin the ordering contract itself: pair IDs ascending within a
+	// violation, and the list sorted by the sweep's (x, id) order.
+	for _, v := range a {
+		if len(v.Cells) == 2 && v.Cells[0] > v.Cells[1] {
+			t.Errorf("violation pair not ID-ordered: %v", v)
+		}
+	}
+}
+
 func TestOccupancyPlaceRemoveFits(t *testing.T) {
 	d := smallDesign()
 	a := d.AddCell("a", 4, 20, VSS)

@@ -63,6 +63,40 @@ func (p *Problem) ResidualInto(w, z []float64) float64 {
 	return res
 }
 
+// Residuals is the componentwise breakdown of the LCP residual: the three
+// maxima whose overall max Residual reports. An exact solution has all
+// three at zero; the audit layer reports them separately in certificates.
+type Residuals struct {
+	Complementarity float64 // max_i |min(z_i, w_i)|
+	PrimalInfeas    float64 // max_i max(0, −z_i)
+	DualInfeas      float64 // max_i max(0, −w_i)
+}
+
+// Max returns the overall residual max(Complementarity, PrimalInfeas,
+// DualInfeas), identical to what Residual reports.
+func (r Residuals) Max() float64 {
+	return math.Max(r.Complementarity, math.Max(r.PrimalInfeas, r.DualInfeas))
+}
+
+// ResidualComponents recomputes w = Az + q and returns the componentwise
+// residual breakdown of (z, w).
+func (p *Problem) ResidualComponents(z []float64) Residuals {
+	w := p.W(z)
+	var r Residuals
+	for i := range z {
+		if v := -z[i]; v > r.PrimalInfeas {
+			r.PrimalInfeas = v
+		}
+		if v := -w[i]; v > r.DualInfeas {
+			r.DualInfeas = v
+		}
+		if v := math.Abs(math.Min(z[i], w[i])); v > r.Complementarity {
+			r.Complementarity = v
+		}
+	}
+	return r
+}
+
 // ComplementarityGap returns zᵀw clipped at zero components, a scalar
 // summary of solution quality.
 func (p *Problem) ComplementarityGap(z []float64) float64 {

@@ -128,3 +128,59 @@ func TestDeltaHPWLNoNets(t *testing.T) {
 		t.Errorf("DeltaHPWL = %g, want 0", got)
 	}
 }
+
+// Flipped-cell pin mirroring: a vertically flipped cell places a pin with
+// offset DY at y = Y + (H − DY) in the legal placement, while the global
+// placement ignores flips (the netlist state before legalization). All
+// numbers below are hand-computed.
+func TestHPWLFlippedDoubleRowCell(t *testing.T) {
+	d := mkDesign()
+	a := d.AddCell("a", 4, 20, design.VSS) // double-row, will be flipped
+	a.GX, a.GY = 8, 0
+	a.X, a.Y = 10, 10
+	a.Flipped = true
+	b := d.AddCell("b", 4, 10, design.VSS) // single-row, upright
+	b.GX, b.GY = 30, 0
+	b.X, b.Y = 30, 0
+	d.Nets = append(d.Nets, design.Net{Name: "n", Pins: []design.Pin{
+		{CellID: a.ID, DX: 1, DY: 3},
+		{CellID: b.ID, DX: 2, DY: 5},
+	}})
+	// Legal: a's pin mirrors to (10+1, 10+(20−3)) = (11, 27); b's is (32, 5).
+	// HPWL = (32−11) + (27−5) = 43.
+	if got := HPWL(d); math.Abs(got-43) > 1e-12 {
+		t.Errorf("HPWL = %g, want 43", got)
+	}
+	// Global ignores the flip: a's pin at (8+1, 0+3) = (9, 3); b's (32, 5).
+	// HPWL = (32−9) + (5−3) = 25.
+	if got := HPWLGlobal(d); math.Abs(got-25) > 1e-12 {
+		t.Errorf("HPWLGlobal = %g, want 25", got)
+	}
+	// Unflipping a moves its pin to (11, 13): HPWL = 21 + 8 = 29.
+	a.Flipped = false
+	if got := HPWL(d); math.Abs(got-29) > 1e-12 {
+		t.Errorf("HPWL unflipped = %g, want 29", got)
+	}
+}
+
+// A net mixing fixed pins (CellID < 0, absolute coordinates) with a flipped
+// cell: the fixed pin never moves or mirrors, the flipped pin does.
+func TestHPWLFixedPinWithFlippedCell(t *testing.T) {
+	d := mkDesign()
+	a := d.AddCell("a", 4, 20, design.VSS)
+	a.GX, a.GY = 8, 0
+	a.X, a.Y = 10, 10
+	a.Flipped = true
+	d.Nets = append(d.Nets, design.Net{Name: "io", Weight: 2, Pins: []design.Pin{
+		{CellID: -1, DX: 0, DY: 40}, // fixed pad at absolute (0, 40)
+		{CellID: a.ID, DX: 1, DY: 3},
+	}})
+	// Legal: a's pin at (11, 27); bbox (0..11, 27..40) → 11 + 13 = 24, ×2 = 48.
+	if got := HPWL(d); math.Abs(got-48) > 1e-12 {
+		t.Errorf("HPWL = %g, want 48", got)
+	}
+	// Global: a's pin at (9, 3); bbox (0..9, 3..40) → 9 + 37 = 46, ×2 = 92.
+	if got := HPWLGlobal(d); math.Abs(got-92) > 1e-12 {
+		t.Errorf("HPWLGlobal = %g, want 92", got)
+	}
+}

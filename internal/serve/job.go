@@ -10,6 +10,7 @@ import (
 	"sort"
 	"time"
 
+	"mclg/internal/audit"
 	"mclg/internal/baselines/chow"
 	"mclg/internal/baselines/wang"
 	"mclg/internal/bookshelf"
@@ -62,6 +63,13 @@ type Request struct {
 	// IncludePlacement asks for the full per-cell placement in the
 	// response (the pos_hash digest is always included).
 	IncludePlacement bool `json:"placement,omitempty"`
+
+	// Audit asks for audit-on-commit: after the solve, the auditor re-runs
+	// the pipeline independently, recomputes the optimality residuals,
+	// cross-checks the relaxed solution against a reference solve, and the
+	// response carries the sealed certificate. Requires method "ours"
+	// without resilient (the certificate covers the standard pipeline).
+	Audit bool `json:"audit,omitempty"`
 }
 
 var validMethods = map[string]bool{"ours": true, "dac16": true, "dac16imp": true, "aspdac17": true}
@@ -77,6 +85,9 @@ func (r *Request) validate() error {
 	}
 	if r.Resilient && r.Method != "ours" {
 		return mclgerr.Invalidf("serve: resilient mode requires method \"ours\"")
+	}
+	if r.Audit && (r.Method != "ours" || r.Resilient) {
+		return mclgerr.Invalidf("serve: audit certifies the standard pipeline; it requires method \"ours\" without resilient")
 	}
 	switch {
 	case r.Bench != "" && len(r.Files) > 0:
@@ -131,7 +142,7 @@ func (r *Request) coreOptions() core.Options {
 func (r *Request) key() string {
 	h := sha256.New()
 	o := r.coreOptions()
-	fmt.Fprintf(h, "method=%s|resilient=%v|", r.Method, r.Resilient)
+	fmt.Fprintf(h, "method=%s|resilient=%v|audit=%v|", r.Method, r.Resilient, r.Audit)
 	fmt.Fprintf(h, "lambda=%g|beta=%g|theta=%g|gamma=%g|eps=%g|maxiter=%d|restol=%g|autotheta=%v|boundright=%v|",
 		o.Lambda, o.Beta, o.Theta, o.Gamma, o.Eps, o.MaxIter, o.ResidualTol, o.AutoTheta, o.BoundRight)
 	if r.Bench != "" {
@@ -290,4 +301,23 @@ func (r *Request) solve(ctx context.Context, d *design.Design, warm *core.WarmSt
 	}
 	rep.CapturePlacement(d)
 	return rep, nil
+}
+
+// runAudit certifies a solved job: the auditor re-runs the pipeline from the
+// design's global positions (d's solved state is not trusted or reused) and
+// the returned certificate's PosHash must reproduce the served placement —
+// a mismatch means the determinism contract broke and fails the job.
+func (r *Request) runAudit(ctx context.Context, d *design.Design, rep *report.Report) (*audit.Certificate, error) {
+	cert, err := audit.Run(ctx, d, audit.Options{Core: r.coreOptions()})
+	if err != nil {
+		return nil, mclgerr.Stage("audit", err)
+	}
+	if cert.PosHash != rep.PosHash {
+		return nil, &mclgerr.StageError{
+			Stage:  "audit",
+			Err:    mclgerr.ErrUnplacedCells,
+			Detail: fmt.Sprintf("audit re-run placement %s does not reproduce served placement %s", cert.PosHash, rep.PosHash),
+		}
+	}
+	return cert, nil
 }

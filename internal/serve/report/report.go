@@ -7,6 +7,7 @@ package report
 import (
 	"time"
 
+	"mclg/internal/audit"
 	"mclg/internal/design"
 	"mclg/internal/metrics"
 	"mclg/internal/regress"
@@ -63,6 +64,12 @@ type Report struct {
 	// iteration count, never the placement: PosHash is identical to the
 	// cold solve's.
 	Warm bool `json:"warm,omitempty"`
+
+	// Certificate is the sealed audit certificate, present when the run was
+	// audited (-audit locally, "audit": true on the wire, or a daemon
+	// running with -audit). Its PosHash is the audit re-run's placement
+	// digest and must equal the report's own PosHash.
+	Certificate *audit.Certificate `json:"certificate,omitempty"`
 
 	Placement *Placement `json:"placement,omitempty"`
 }

@@ -316,6 +316,8 @@ func TestInvalidRequests(t *testing.T) {
 		{"bench and files", `{"bench":"fft_2","files":{"nodes":"x","pl":"y","scl":"z"}}`},
 		{"bad method", `{"bench":"fft_2","method":"magic"}`},
 		{"resilient baseline", `{"bench":"fft_2","method":"dac16","resilient":true}`},
+		{"audit baseline", `{"bench":"fft_2","method":"dac16","audit":true}`},
+		{"audit resilient", `{"bench":"fft_2","resilient":true,"audit":true}`},
 		{"negative timeout", `{"bench":"fft_2","timeout_ms":-1}`},
 		{"scale out of range", `{"bench":"fft_2","scale":99}`},
 		{"files missing scl", `{"files":{"nodes":"x","pl":"y"}}`},
@@ -439,4 +441,91 @@ func waitFor(t *testing.T, what string, cond func() bool) {
 		time.Sleep(2 * time.Millisecond)
 	}
 	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestAuditOnCommit exercises the audit wiring: a job with "audit": true
+// comes back with a sealed certificate whose re-run placement matches the
+// served one, the certificate survives the cache, an unaudited request is a
+// distinct cache entry without one, and the audit counters and stage
+// histogram appear on /metrics.
+func TestAuditOnCommit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("solves and audits a benchmark")
+	}
+	_, ts := newTestServer(t, Config{})
+	req := &Request{Bench: "fft_2", Scale: 0.004, Audit: true}
+
+	var first report.Report
+	if resp := post(t, ts.URL, req, &first); resp.StatusCode != http.StatusOK {
+		t.Fatalf("HTTP %d", resp.StatusCode)
+	}
+	cert := first.Certificate
+	if cert == nil {
+		t.Fatal("audited response carries no certificate")
+	}
+	if !cert.Pass || !cert.Verify() {
+		t.Fatalf("certificate not passing/verifying: %s", cert.Summary())
+	}
+	if cert.PosHash != first.PosHash {
+		t.Errorf("certificate PosHash %s != report PosHash %s", cert.PosHash, first.PosHash)
+	}
+
+	var second report.Report
+	post(t, ts.URL, req, &second)
+	if second.Cache != "hit" || second.Certificate == nil || second.Certificate.Hash != cert.Hash {
+		t.Errorf("cached audited response lost or changed the certificate (cache=%q)", second.Cache)
+	}
+
+	var plain report.Report
+	post(t, ts.URL, &Request{Bench: "fft_2", Scale: 0.004}, &plain)
+	if plain.Cache != "miss" {
+		t.Errorf("unaudited request shared the audited cache entry (cache=%q)", plain.Cache)
+	}
+	if plain.Certificate != nil {
+		t.Error("unaudited response carries a certificate")
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	body := string(raw)
+	for _, want := range []string{
+		`mclgd_audit_total{result="pass"} 1`,
+		`mclgd_audit_total{result="fail"} 0`,
+		`mclgd_audit_total{result="error"} 0`,
+		`mclgd_stage_seconds_count{stage="audit"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestAuditAllConfig: a daemon running with AuditAll certifies eligible jobs
+// without the request asking, and skips ineligible (baseline) jobs instead
+// of refusing them.
+func TestAuditAllConfig(t *testing.T) {
+	if testing.Short() {
+		t.Skip("solves and audits a benchmark")
+	}
+	_, ts := newTestServer(t, Config{AuditAll: true})
+
+	var rep report.Report
+	if resp := post(t, ts.URL, &Request{Bench: "fft_2", Scale: 0.004}, &rep); resp.StatusCode != http.StatusOK {
+		t.Fatalf("HTTP %d", resp.StatusCode)
+	}
+	if rep.Certificate == nil || !rep.Certificate.Pass {
+		t.Fatal("AuditAll did not attach a passing certificate to an eligible job")
+	}
+
+	var base report.Report
+	if resp := post(t, ts.URL, &Request{Bench: "fft_2", Scale: 0.004, Method: "dac16"}, &base); resp.StatusCode != http.StatusOK {
+		t.Fatalf("baseline under AuditAll: HTTP %d", resp.StatusCode)
+	}
+	if base.Certificate != nil {
+		t.Error("AuditAll audited a baseline method")
+	}
 }

@@ -56,6 +56,10 @@ type Config struct {
 	MaxJobTimeout     time.Duration
 	// MaxBodyBytes bounds an upload body; 0 means 64 MiB.
 	MaxBodyBytes int64
+	// AuditAll turns on audit-on-commit for every eligible job (method
+	// "ours", non-resilient), as if each request had set "audit": true.
+	// Ineligible jobs run unaudited rather than being refused.
+	AuditAll bool
 	// Logger receives structured per-job logs; nil discards them.
 	Logger *slog.Logger
 }
@@ -255,6 +259,28 @@ func (s *Server) runJob(j *job) {
 					}
 				} else {
 					s.warm.misses.inc()
+				}
+			}
+			// Audit-on-commit: certify the solved result before it is
+			// published or cached. An audit error (including a placement
+			// the audit re-run cannot reproduce) fails the job; a sealed
+			// certificate that merely fails its checks is returned to the
+			// caller with pass=false and counted.
+			doAudit := j.req.Audit || (s.cfg.AuditAll && j.req.Method == "ours" && !j.req.Resilient)
+			if err == nil && rep != nil && doAudit {
+				ta := time.Now()
+				cert, aerr := j.req.runAudit(j.ctx, d, rep)
+				s.stats.observeStage("audit", time.Since(ta).Seconds())
+				if aerr != nil {
+					s.stats.auditDone("error")
+					err = aerr
+				} else {
+					rep.Certificate = cert
+					if cert.Pass {
+						s.stats.auditDone("pass")
+					} else {
+						s.stats.auditDone("fail")
+					}
 				}
 			}
 		}

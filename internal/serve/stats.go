@@ -78,6 +78,8 @@ type serverStats struct {
 
 	jobs sync.Map // class string -> *counter
 
+	audits sync.Map // result string ("pass" | "fail" | "error") -> *counter
+
 	stages sync.Map // stage string -> *histogram
 }
 
@@ -88,7 +90,10 @@ func newServerStats() *serverStats {
 	for _, class := range mclgerr.Classes() {
 		s.jobs.Store(class, &counter{})
 	}
-	for _, st := range []string{"parse", "solve", "total"} {
+	for _, result := range []string{"pass", "fail", "error"} {
+		s.audits.Store(result, &counter{})
+	}
+	for _, st := range []string{"parse", "solve", "audit", "total"} {
 		s.stages.Store(st, newHistogram())
 	}
 	return s
@@ -96,6 +101,11 @@ func newServerStats() *serverStats {
 
 func (s *serverStats) jobDone(class string) {
 	c, _ := s.jobs.LoadOrStore(class, &counter{})
+	c.(*counter).inc()
+}
+
+func (s *serverStats) auditDone(result string) {
+	c, _ := s.audits.LoadOrStore(result, &counter{})
 	c.(*counter).inc()
 }
 
@@ -158,6 +168,13 @@ func (s *serverStats) writePrometheus(w io.Writer, cache *resultCache, warm *war
 	fmt.Fprintf(w, "# TYPE mclgd_rejected_total counter\n")
 	fmt.Fprintf(w, "mclgd_rejected_total{reason=\"queue_full\"} %d\n", s.rejectedFull.get())
 	fmt.Fprintf(w, "mclgd_rejected_total{reason=\"draining\"} %d\n", s.rejectedDraining.get())
+
+	fmt.Fprintf(w, "# HELP mclgd_audit_total Audit-on-commit outcomes (pass/fail = sealed certificate verdict, error = audit could not complete).\n")
+	fmt.Fprintf(w, "# TYPE mclgd_audit_total counter\n")
+	for _, result := range sortedKeys(&s.audits) {
+		c, _ := s.audits.Load(result)
+		fmt.Fprintf(w, "mclgd_audit_total{result=%q} %d\n", result, c.(*counter).get())
+	}
 
 	fmt.Fprintf(w, "# HELP mclgd_jobs_total Terminal jobs by mclgerr class (ok = verified legal).\n")
 	fmt.Fprintf(w, "# TYPE mclgd_jobs_total counter\n")
