@@ -37,6 +37,7 @@ import (
 	"mclg/internal/serve"
 	"mclg/internal/serve/report"
 	"mclg/internal/tetris"
+	"mclg/internal/window"
 )
 
 // info is where human-readable chatter goes: stdout normally, stderr under
@@ -66,6 +67,9 @@ func main() {
 		serverURL  = flag.String("server", "", "submit the job to a running mclgd at this base URL instead of solving locally")
 		jsonOut    = flag.Bool("json", false, "emit the machine-readable run report (mclgd schema) on stdout")
 		auditRun   = flag.Bool("audit", false, "audit the result: re-run the pipeline independently, recompute optimality residuals, cross-check against a reference solve, and print the sealed certificate (exit 1 unless it passes)")
+		windowsOn  = flag.Bool("windows", false, "fault-isolated windowed legalization: solve per-row-band windows under supervision (retry, hedging, degradation) and stitch deterministically (method ours only)")
+		windowRows = flag.Int("window-rows", 0, "rows per window with -windows (0 = default 16)")
+		hedge      = flag.Float64("hedge", 0, "straggler-hedging quantile in (0,1] with -windows: re-issue the slowest windows once this fraction has completed (0 = off)")
 	)
 	flag.Parse()
 	if *jsonOut {
@@ -74,13 +78,23 @@ func main() {
 	if *auditRun && (*method != "ours" || *resilient || *refineObj != "") {
 		fatal(fmt.Errorf("-audit certifies the standard pipeline: method ours, without -resilient or -refine"))
 	}
+	if *windowsOn && (*method != "ours" || *resilient || *auditRun) {
+		fatal(fmt.Errorf("-windows requires method ours, without -resilient or -audit"))
+	}
+	if !*windowsOn && (*windowRows != 0 || *hedge != 0) {
+		fatal(fmt.Errorf("-window-rows and -hedge require -windows"))
+	}
+	if *hedge < 0 || *hedge > 1 {
+		fatal(fmt.Errorf("-hedge %g out of range [0, 1]", *hedge))
+	}
 
 	if *serverURL != "" {
 		runRemote(*serverURL, *auxPath, *benchName, *scale, *method, *resilient, *auditRun,
 			serve.OptionsJSON{
 				Lambda: *lambda, Beta: *beta, Theta: *theta, Eps: *eps,
 				AutoTheta: *autoTheta, BoundRight: *boundRight, Workers: *workers,
-			}, *timeout, *outPath, *jsonOut, *runGP || *checkOnly || *refineObj != "")
+			}, *windowsOn, *windowRows, *hedge,
+			*timeout, *outPath, *jsonOut, *runGP || *checkOnly || *refineObj != "")
 		return
 	}
 
@@ -130,6 +144,7 @@ func main() {
 	t0 := time.Now()
 	var (
 		stats       *core.Stats
+		winStats    *window.Stats
 		rung        string
 		numAttempts int
 	)
@@ -138,7 +153,19 @@ func main() {
 	switch *method {
 	case "ours":
 		opts := oursOpts
-		if *resilient {
+		if *windowsOn {
+			wst, err := window.Legalize(ctx, d, window.Options{
+				Cascade:       core.ResilientOptions{Base: opts},
+				WindowRows:    *windowRows,
+				HedgeQuantile: *hedge,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			winStats = wst
+			fmt.Fprintf(info, "  windows: %d solved of %d (retries %d, hedges won %d/%d, degraded %d)\n",
+				wst.Solved, wst.Windows, wst.Retries, wst.HedgesWon, wst.HedgesIssued, wst.Degraded)
+		} else if *resilient {
 			rs, err := core.NewResilient(core.ResilientOptions{Base: opts}).LegalizeContext(ctx, d)
 			if err != nil {
 				fatal(err)
@@ -161,7 +188,7 @@ func main() {
 				fatal(err)
 			}
 		}
-		if *verbose {
+		if *verbose && stats != nil {
 			fmt.Fprintf(info, "  vars=%d cons=%d iters=%d converged=%v\n",
 				stats.NumVars, stats.NumCons, stats.Iterations, stats.Converged)
 			fmt.Fprintf(info, "  subcell mismatch=%.4g illegal=%d unplaced=%d\n",
@@ -207,6 +234,18 @@ func main() {
 
 	rep := report.FromDesign(d, *method, elapsed)
 	rep.Rung, rep.Attempts = rung, numAttempts
+	if winStats != nil {
+		rep.Windows = &report.WindowStats{
+			Total:        winStats.Windows,
+			Solved:       winStats.Solved,
+			Resumed:      winStats.Resumed,
+			Retries:      winStats.Retries,
+			Panics:       winStats.Panics,
+			HedgesIssued: winStats.HedgesIssued,
+			HedgesWon:    winStats.HedgesWon,
+			Degraded:     winStats.Degraded,
+		}
+	}
 	if stats != nil {
 		rep.Iterations = stats.Iterations
 		rep.Converged = stats.Converged
@@ -261,11 +300,15 @@ func main() {
 // runRemote is the -server flow: submit, report, optionally write the
 // returned placement back as Bookshelf.
 func runRemote(serverURL, auxPath, bench string, scale float64, method string, resilient, auditRun bool,
-	opts serve.OptionsJSON, timeout time.Duration, outPath string, jsonOut, localOnlyFlags bool) {
+	opts serve.OptionsJSON, windows bool, windowRows int, hedge float64,
+	timeout time.Duration, outPath string, jsonOut, localOnlyFlags bool) {
 	if localOnlyFlags {
 		fatal(fmt.Errorf("-gp, -check and -refine run locally and cannot be combined with -server"))
 	}
 	req, err := remoteRequest(auxPath, bench, scale, method, resilient, auditRun, opts, timeout, outPath != "")
+	if err == nil && windows {
+		req.Windows, req.WindowRows, req.Hedge = true, windowRows, hedge
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -284,6 +327,10 @@ func runRemote(serverURL, auxPath, bench string, scale float64, method string, r
 		legality = "legal"
 	}
 	fmt.Fprintf(info, "legality: %s\n", legality)
+	if ws := rep.Windows; ws != nil {
+		fmt.Fprintf(info, "windows: %d solved + %d resumed of %d (retries %d, hedges won %d/%d, degraded %d)\n",
+			ws.Solved, ws.Resumed, ws.Total, ws.Retries, ws.HedgesWon, ws.HedgesIssued, ws.Degraded)
+	}
 	if rep.Certificate != nil {
 		fmt.Fprintf(info, "%s\n", rep.Certificate.Summary())
 	}

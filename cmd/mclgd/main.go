@@ -34,6 +34,10 @@ func main() {
 		cacheCap     = flag.Int("cache", 128, "result cache capacity in entries (negative disables)")
 		warmCap      = flag.Int("warm-cache", 32, "warm-start store capacity in topologies (negative disables)")
 		auditAll     = flag.Bool("audit", false, "audit every eligible job on commit (method ours, non-resilient): responses carry sealed optimality certificates")
+		windowsAll   = flag.Bool("windows", false, "run every eligible job (method ours, non-resilient, non-audit) through fault-isolated windowed legalization")
+		windowRows   = flag.Int("window-rows", 0, "default rows per window for windowed jobs (0 = 16)")
+		hedgeQ       = flag.Float64("hedge", 0, "default straggler-hedging quantile in (0,1] for windowed jobs (0 = off)")
+		journalDir   = flag.String("journal-dir", "", "directory for per-job write-ahead window journals; a restarted daemon resumes interrupted windowed jobs from it (empty = journaling off)")
 		pprofOn      = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (off by default)")
 		jobTimeout   = flag.Duration("job-timeout", 60*time.Second, "default per-job deadline (requests may shorten it)")
 		maxJobTime   = flag.Duration("max-job-timeout", 2*time.Minute, "hard cap on any per-job deadline")
@@ -50,6 +54,10 @@ func main() {
 		DefaultJobTimeout: *jobTimeout,
 		MaxJobTimeout:     *maxJobTime,
 		AuditAll:          *auditAll,
+		WindowsAll:        *windowsAll,
+		WindowRows:        *windowRows,
+		HedgeQuantile:     *hedgeQ,
+		JournalDir:        *journalDir,
 		Logger:            logger,
 	})
 
@@ -72,7 +80,7 @@ func main() {
 	httpSrv := &http.Server{Handler: handler}
 	logger.Info("mclgd listening", "addr", ln.Addr().String(),
 		"pool", *pool, "queue", *queueCap, "cache", *cacheCap, "warm", *warmCap,
-		"audit", *auditAll)
+		"audit", *auditAll, "windows", *windowsAll, "journal_dir", *journalDir)
 
 	errCh := make(chan error, 1)
 	go func() {

@@ -98,6 +98,31 @@ func TestE2EMclgWorkersMatchSerial(t *testing.T) {
 	}
 }
 
+// TestE2EMclgWindowed smokes the -windows flag: the supervised windowed run
+// must come out legal, print the supervision summary, and carry the window
+// stats in the -json report.
+func TestE2EMclgWindowed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	bin := buildCmd(t, "mclg")
+	out := run(t, bin, "-bench", "fft_2", "-scale", "0.004", "-windows", "-window-rows", "4")
+	if !strings.Contains(out, "legality: legal") {
+		t.Errorf("windowed run not legal:\n%s", out)
+	}
+	if !strings.Contains(out, "windows: ") {
+		t.Errorf("output missing window supervision summary:\n%s", out)
+	}
+	jsonOut := run(t, bin, "-bench", "fft_2", "-scale", "0.004", "-windows", "-window-rows", "4", "-json")
+	if !strings.Contains(jsonOut, `"windows"`) || !strings.Contains(jsonOut, `"solved"`) {
+		t.Errorf("-json report missing window stats:\n%s", jsonOut)
+	}
+	// Flag hygiene: windowed knobs without -windows are refused.
+	if _, err := exec.Command(bin, "-bench", "fft_2", "-hedge", "0.5").CombinedOutput(); err == nil {
+		t.Error("-hedge without -windows should be refused")
+	}
+}
+
 // slowArgs is a CLI invocation that legalizes for ~10s when left alone —
 // long enough that a timeout or signal reliably lands mid-solve.
 var slowArgs = []string{"-bench", "superblue19", "-scale", "0.02", "-eps", "1e-9"}

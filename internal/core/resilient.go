@@ -123,7 +123,7 @@ func (r *ResilientLegalizer) LegalizeContext(ctx context.Context, d *design.Desi
 		}
 		t0 := time.Now()
 		work := d.Clone()
-		st, err := run(work)
+		st, err := runRecovered(run, work)
 		if err == nil {
 			if rep := design.CheckLegal(work); !rep.Legal() {
 				err = &mclgerr.StageError{
@@ -374,6 +374,19 @@ func (r *ResilientLegalizer) runPGSRung(ctx context.Context, d *design.Design) (
 		}
 	}
 	return stats, nil
+}
+
+// runRecovered executes one rung body with panic containment: a panicking
+// rung becomes an ErrPanic-matching error and the cascade degrades to the
+// next rung instead of crashing the caller. The racing path gets the same
+// guarantee from par.Race's own recovery.
+func runRecovered(run func(*design.Design) (*Stats, error), work *design.Design) (st *Stats, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			st, err = nil, mclgerr.Panicked(r)
+		}
+	}()
+	return run(work)
 }
 
 // commitPlacement copies the solved positions from a rung's working clone

@@ -1,0 +1,86 @@
+package faults
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestWindowChaosDeterministic pins that fault selection is a pure function
+// of (Seed, window, attempt) — the property that makes a chaos run exactly
+// reproducible.
+func TestWindowChaosDeterministic(t *testing.T) {
+	a := &WindowChaos{Seed: 7, PanicFrac: 0.2, StallFrac: 0.2, NaNFrac: 0.2}
+	b := &WindowChaos{Seed: 7, PanicFrac: 0.2, StallFrac: 0.2, NaNFrac: 0.2}
+	for w := 0; w < 200; w++ {
+		if a.Fault(w, 0) != b.Fault(w, 0) {
+			t.Fatalf("window %d: fault differs across identical injectors", w)
+		}
+	}
+	other := &WindowChaos{Seed: 8, PanicFrac: 0.2, StallFrac: 0.2, NaNFrac: 0.2}
+	same := 0
+	for w := 0; w < 200; w++ {
+		if a.Fault(w, 0) == other.Fault(w, 0) {
+			same++
+		}
+	}
+	if same == 200 {
+		t.Fatalf("seed does not influence fault selection")
+	}
+}
+
+// TestWindowChaosTransient pins the default transience: only attempt 0 is
+// faulted, so retries and hedges run clean and converge to the fault-free
+// placement.
+func TestWindowChaosTransient(t *testing.T) {
+	c := &WindowChaos{Seed: 3, PanicFrac: 1}
+	if c.Fault(5, 0) != FaultPanic {
+		t.Fatalf("attempt 0 of a fully-faulted injector must panic")
+	}
+	for _, attempt := range []int{1, 2, 1 << 20} {
+		if f := c.Fault(5, attempt); f != FaultNone {
+			t.Fatalf("attempt %d: fault %v, want none (transient default)", attempt, f)
+		}
+	}
+	persistent := &WindowChaos{Seed: 3, PanicFrac: 1, MaxAttempt: 3}
+	for attempt, want := range map[int]WindowFault{0: FaultPanic, 2: FaultPanic, 3: FaultNone} {
+		if f := persistent.Fault(5, attempt); f != want {
+			t.Fatalf("persistent attempt %d: fault %v, want %v", attempt, f, want)
+		}
+	}
+}
+
+// TestWindowChaosFractions checks the unit-interval partition: with
+// fractions summing to f, roughly f of many windows are faulted, and the
+// three fault kinds all occur.
+func TestWindowChaosFractions(t *testing.T) {
+	c := &WindowChaos{Seed: 11, PanicFrac: 0.1, StallFrac: 0.1, NaNFrac: 0.1}
+	counts := map[WindowFault]int{}
+	n := 10000
+	for w := 0; w < n; w++ {
+		counts[c.Fault(w, 0)]++
+	}
+	faulted := n - counts[FaultNone]
+	if faulted < n/5 || faulted > n*2/5 {
+		t.Fatalf("faulted %d of %d windows, want ≈30%%", faulted, n)
+	}
+	for _, f := range []WindowFault{FaultPanic, FaultStall, FaultNaN} {
+		if counts[f] == 0 {
+			t.Fatalf("fault kind %v never selected", f)
+		}
+	}
+}
+
+// TestWindowChaosInjectStallCancelable verifies an injected stall is not a
+// hang: it unblocks as soon as the attempt's context is canceled.
+func TestWindowChaosInjectStallCancelable(t *testing.T) {
+	c := &WindowChaos{Seed: 1, StallFrac: 1}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := c.Inject(ctx, 0, 0, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("stall returned %v, want context.Canceled", err)
+	}
+	if c.Injected.Load() == 0 {
+		t.Fatalf("injection counter not incremented")
+	}
+}

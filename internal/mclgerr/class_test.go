@@ -19,12 +19,16 @@ func TestClassCoversTaxonomy(t *testing.T) {
 		{ErrInfeasibleRow, "infeasible_row"},
 		{ErrUnplacedCells, "unplaced_cells"},
 		{ErrCanceled, "canceled"},
+		{ErrPanic, "panic"},
 		{errors.New("mystery"), "other"},
 		// Wrapped forms must classify through the chain.
 		{Stage("mmsim", ErrDiverged), "diverged"},
 		{fmt.Errorf("outer: %w", Stage("tetris", ErrUnplacedCells)), "unplaced_cells"},
 		{Invalidf("bad λ"), "invalid_input"},
 		{Canceled(context.DeadlineExceeded), "canceled"},
+		{Panicked("index out of range"), "panic"},
+		{Panicked(errors.New("boom")), "panic"},
+		{Stage("window", Panicked("boom")), "panic"},
 	}
 	for _, tc := range cases {
 		if got := Class(tc.err); got != tc.want {
@@ -41,7 +45,7 @@ func TestClassesListsEveryLabel(t *testing.T) {
 		listed[c] = true
 	}
 	probes := []error{nil, ErrInvalidInput, ErrDiverged, ErrIterBudget,
-		ErrInfeasibleRow, ErrUnplacedCells, ErrCanceled, errors.New("x")}
+		ErrInfeasibleRow, ErrUnplacedCells, ErrCanceled, ErrPanic, errors.New("x")}
 	for _, err := range probes {
 		if !listed[Class(err)] {
 			t.Errorf("Class(%v) = %q missing from Classes()", err, Class(err))

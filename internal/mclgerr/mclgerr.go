@@ -44,12 +44,17 @@ var (
 	ErrUnplacedCells = errors.New("mclg: unplaced or illegal cells")
 	// ErrCanceled marks a run aborted by context cancellation or deadline.
 	ErrCanceled = errors.New("mclg: canceled")
+	// ErrPanic marks a solver goroutine that panicked and was recovered by a
+	// supervision layer. The panic value and stack travel in the wrapping
+	// error's message; the sentinel lets callers route the failure into the
+	// retry/degrade policy instead of crashing the process.
+	ErrPanic = errors.New("mclg: recovered panic")
 )
 
 // sentinels lists the full taxonomy for IsTaxonomy.
 var sentinels = []error{
 	ErrInvalidInput, ErrDiverged, ErrIterBudget,
-	ErrInfeasibleRow, ErrUnplacedCells, ErrCanceled,
+	ErrInfeasibleRow, ErrUnplacedCells, ErrCanceled, ErrPanic,
 }
 
 // IsTaxonomy reports whether err matches any sentinel of the taxonomy.
@@ -82,6 +87,8 @@ func Class(err error) string {
 		return "infeasible_row"
 	case errors.Is(err, ErrUnplacedCells):
 		return "unplaced_cells"
+	case errors.Is(err, ErrPanic):
+		return "panic"
 	default:
 		return "other"
 	}
@@ -91,7 +98,7 @@ func Class(err error) string {
 // layers can pre-register metric series.
 func Classes() []string {
 	return []string{"ok", "invalid_input", "canceled", "diverged",
-		"iter_budget", "infeasible_row", "unplaced_cells", "other"}
+		"iter_budget", "infeasible_row", "unplaced_cells", "panic", "other"}
 }
 
 // StageError wraps a taxonomy sentinel (or a chain ending in one) with the
@@ -167,6 +174,19 @@ func FromContext(ctx context.Context) error {
 		return &cancelError{cause: err}
 	}
 	return nil
+}
+
+// Panicked converts a recovered panic value (as returned by recover()) into
+// an ErrPanic-matching error. Supervision layers call it inside a deferred
+// recover so a panicking solver rung surfaces as a typed, retryable failure.
+func Panicked(v any) error {
+	if v == nil {
+		return nil
+	}
+	if err, ok := v.(error); ok {
+		return fmt.Errorf("%w: %w", ErrPanic, err)
+	}
+	return fmt.Errorf("%w: %v", ErrPanic, v)
 }
 
 // Canceled wraps an arbitrary cause as an ErrCanceled-matching error.

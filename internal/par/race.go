@@ -3,6 +3,8 @@ package par
 import (
 	"context"
 	"sync"
+
+	"mclg/internal/mclgerr"
 )
 
 // RaceResult carries one task's outcome from Race.
@@ -27,6 +29,11 @@ type RaceResult[T any] struct {
 // result slice is returned for attempt tracing. If no task succeeds the
 // returned index is -1. A canceled parent ctx cancels everything and is
 // reported through each task's error.
+//
+// Race is panic-safe: a task that panics is recovered into an
+// mclgerr.ErrPanic-matching error on its result slot, its completion is
+// still signalled, and every spawned worker goroutine exits before Race
+// returns — a panicking rung can never deadlock the race or leak workers.
 func Race[T any](ctx context.Context, workers int, tasks []func(ctx context.Context) (T, error)) (int, []RaceResult[T]) {
 	n := len(tasks)
 	results := make([]RaceResult[T], n)
@@ -69,13 +76,7 @@ func Race[T any](ctx context.Context, workers int, tasks []func(ctx context.Cont
 				if i >= n {
 					return
 				}
-				if ctxs[i].Err() == nil {
-					v, err := tasks[i](ctxs[i])
-					results[i] = RaceResult[T]{Value: v, Err: err, Ran: true}
-				} else {
-					results[i] = RaceResult[T]{Err: ctxs[i].Err()}
-				}
-				close(done[i])
+				runRaceTask(ctxs[i], tasks[i], &results[i], done[i])
 			}
 		}()
 	}
@@ -94,4 +95,23 @@ func Race[T any](ctx context.Context, workers int, tasks []func(ctx context.Cont
 	}
 	wg.Wait()
 	return winner, results
+}
+
+// runRaceTask executes one race task with panic containment. The done
+// channel is closed on every path — normal return, skip, or panic — so the
+// priority loop in Race can never block on a slot whose task blew up.
+func runRaceTask[T any](ctx context.Context, task func(ctx context.Context) (T, error), res *RaceResult[T], done chan struct{}) {
+	defer close(done)
+	defer func() {
+		if r := recover(); r != nil {
+			res.Err = mclgerr.Panicked(r)
+			res.Ran = true
+		}
+	}()
+	if ctx.Err() != nil {
+		res.Err = ctx.Err()
+		return
+	}
+	v, err := task(ctx)
+	res.Value, res.Err, res.Ran = v, err, true
 }

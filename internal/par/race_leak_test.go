@@ -1,0 +1,124 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"mclg/internal/mclgerr"
+)
+
+// leakCheck returns a function that fails the test if the goroutine count
+// has not returned to (near) its starting value. It polls with a deadline
+// because runtime bookkeeping for exiting goroutines is asynchronous.
+func leakCheck(t *testing.T) func() {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			runtime.Gosched()
+			if runtime.NumGoroutine() <= before {
+				return
+			}
+			if time.Now().After(deadline) {
+				buf := make([]byte, 1<<20)
+				n := runtime.Stack(buf, true)
+				t.Fatalf("goroutine leak: %d before, %d after\n%s",
+					before, runtime.NumGoroutine(), buf[:n])
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+}
+
+// TestRacePanickingTaskRecovered pins the panic containment contract: a
+// panicking task yields an ErrPanic-matching result, the race still selects
+// the healthy winner, and no worker goroutine leaks or deadlocks.
+func TestRacePanickingTaskRecovered(t *testing.T) {
+	check := leakCheck(t)
+	tasks := []func(ctx context.Context) (int, error){
+		func(ctx context.Context) (int, error) { panic("rung blew up") },
+		func(ctx context.Context) (int, error) { return 42, nil },
+	}
+	winner, results := Race(context.Background(), 4, tasks)
+	if winner != 1 {
+		t.Fatalf("winner = %d, want 1", winner)
+	}
+	if !errors.Is(results[0].Err, mclgerr.ErrPanic) {
+		t.Fatalf("results[0].Err = %v, want ErrPanic", results[0].Err)
+	}
+	if !results[0].Ran {
+		t.Fatalf("panicking task must be marked Ran")
+	}
+	if results[1].Value != 42 || results[1].Err != nil {
+		t.Fatalf("results[1] = %+v, want value 42", results[1])
+	}
+	check()
+}
+
+// TestRaceAllPanic verifies a race where every task panics terminates with
+// no winner and typed errors on every slot.
+func TestRaceAllPanic(t *testing.T) {
+	check := leakCheck(t)
+	n := 8
+	tasks := make([]func(ctx context.Context) (int, error), n)
+	for i := range tasks {
+		i := i
+		tasks[i] = func(ctx context.Context) (int, error) { panic(i) }
+	}
+	winner, results := Race(context.Background(), 3, tasks)
+	if winner != -1 {
+		t.Fatalf("winner = %d, want -1", winner)
+	}
+	for i, r := range results {
+		if !errors.Is(r.Err, mclgerr.ErrPanic) {
+			t.Fatalf("results[%d].Err = %v, want ErrPanic", i, r.Err)
+		}
+	}
+	check()
+}
+
+// TestRaceLosersObserveCancellationPromptly pins the leak-freedom half of
+// the satellite: when a high-priority task wins, slower losing tasks that
+// block on their context unblock promptly and every goroutine exits before
+// Race returns.
+func TestRaceLosersObserveCancellationPromptly(t *testing.T) {
+	check := leakCheck(t)
+	started := make(chan struct{}, 1)
+	tasks := []func(ctx context.Context) (int, error){
+		func(ctx context.Context) (int, error) {
+			// Don't win until the straggler below is actually blocked, so
+			// the test exercises cancellation of a running loser.
+			select {
+			case <-started:
+			case <-time.After(2 * time.Second):
+			}
+			return 1, nil
+		},
+		func(ctx context.Context) (int, error) {
+			select {
+			case started <- struct{}{}:
+			default:
+			}
+			// Blocks forever unless canceled.
+			<-ctx.Done()
+			return 0, ctx.Err()
+		},
+	}
+	t0 := time.Now()
+	winner, results := Race(context.Background(), 2, tasks)
+	if winner != 0 {
+		t.Fatalf("winner = %d, want 0", winner)
+	}
+	if results[1].Err == nil {
+		t.Fatalf("losing straggler should report its cancellation")
+	}
+	if elapsed := time.Since(t0); elapsed > 2*time.Second {
+		t.Fatalf("race took %v; losing task did not observe cancellation promptly", elapsed)
+	}
+	check()
+}

@@ -70,6 +70,21 @@ type Request struct {
 	// response carries the sealed certificate. Requires method "ours"
 	// without resilient (the certificate covers the standard pipeline).
 	Audit bool `json:"audit,omitempty"`
+
+	// Windows asks for fault-isolated windowed legalization: the design is
+	// partitioned into row bands solved independently under supervision
+	// (retry, hedging, degradation) and stitched deterministically. Requires
+	// method "ours" without resilient or audit.
+	Windows bool `json:"windows,omitempty"`
+	// WindowRows overrides the rows per window; 0 takes the server default.
+	// Result-affecting (it changes the partition), so it enters the cache
+	// key after resolution.
+	WindowRows int `json:"window_rows,omitempty"`
+	// Hedge sets the straggler-hedging quantile in (0,1]; 0 takes the
+	// server default. Like Workers it is result-neutral — hedged and
+	// primary solves compute identical placements — so it does NOT enter
+	// the cache key.
+	Hedge float64 `json:"hedge,omitempty"`
 }
 
 var validMethods = map[string]bool{"ours": true, "dac16": true, "dac16imp": true, "aspdac17": true}
@@ -88,6 +103,18 @@ func (r *Request) validate() error {
 	}
 	if r.Audit && (r.Method != "ours" || r.Resilient) {
 		return mclgerr.Invalidf("serve: audit certifies the standard pipeline; it requires method \"ours\" without resilient")
+	}
+	if r.Windows && (r.Method != "ours" || r.Resilient || r.Audit) {
+		return mclgerr.Invalidf("serve: windowed mode requires method \"ours\" without resilient or audit")
+	}
+	if !r.Windows && (r.WindowRows != 0 || r.Hedge != 0) {
+		return mclgerr.Invalidf("serve: window_rows and hedge require \"windows\": true")
+	}
+	if r.WindowRows < 0 {
+		return mclgerr.Invalidf("serve: window_rows %d must be non-negative", r.WindowRows)
+	}
+	if r.Hedge < 0 || r.Hedge > 1 {
+		return mclgerr.Invalidf("serve: hedge %g out of range [0, 1]", r.Hedge)
 	}
 	switch {
 	case r.Bench != "" && len(r.Files) > 0:
@@ -142,7 +169,8 @@ func (r *Request) coreOptions() core.Options {
 func (r *Request) key() string {
 	h := sha256.New()
 	o := r.coreOptions()
-	fmt.Fprintf(h, "method=%s|resilient=%v|audit=%v|", r.Method, r.Resilient, r.Audit)
+	fmt.Fprintf(h, "method=%s|resilient=%v|audit=%v|windows=%v|window_rows=%d|",
+		r.Method, r.Resilient, r.Audit, r.Windows, r.WindowRows)
 	fmt.Fprintf(h, "lambda=%g|beta=%g|theta=%g|gamma=%g|eps=%g|maxiter=%d|restol=%g|autotheta=%v|boundright=%v|",
 		o.Lambda, o.Beta, o.Theta, o.Gamma, o.Eps, o.MaxIter, o.ResidualTol, o.AutoTheta, o.BoundRight)
 	if r.Bench != "" {

@@ -65,6 +65,11 @@ type Report struct {
 	// cold solve's.
 	Warm bool `json:"warm,omitempty"`
 
+	// Windows carries the fault-containment trace of a windowed run: how
+	// the job was partitioned and how many windows were resumed from the
+	// journal, retried, hedged, or degraded.
+	Windows *WindowStats `json:"windows,omitempty"`
+
 	// Certificate is the sealed audit certificate, present when the run was
 	// audited (-audit locally, "audit": true on the wire, or a daemon
 	// running with -audit). Its PosHash is the audit re-run's placement
@@ -72,6 +77,20 @@ type Report struct {
 	Certificate *audit.Certificate `json:"certificate,omitempty"`
 
 	Placement *Placement `json:"placement,omitempty"`
+}
+
+// WindowStats is the windowed-run supervision trace. Total == Solved +
+// Resumed on success; Resumed counts windows replayed from the write-ahead
+// journal instead of being re-solved.
+type WindowStats struct {
+	Total        int `json:"total"`
+	Solved       int `json:"solved"`
+	Resumed      int `json:"resumed,omitempty"`
+	Retries      int `json:"retries,omitempty"`
+	Panics       int `json:"panics,omitempty"`
+	HedgesIssued int `json:"hedges_issued,omitempty"`
+	HedgesWon    int `json:"hedges_won,omitempty"`
+	Degraded     int `json:"degraded,omitempty"`
 }
 
 // FromDesign measures the design's current placement into a Report. Solver

@@ -25,14 +25,18 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"math/rand"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
 	"mclg/internal/core"
+	"mclg/internal/faults"
 	"mclg/internal/mclgerr"
 	"mclg/internal/serve/report"
+	"mclg/internal/window"
 )
 
 // Config parameterizes the daemon. The zero value is usable: 2 pool
@@ -60,6 +64,25 @@ type Config struct {
 	// "ours", non-resilient), as if each request had set "audit": true.
 	// Ineligible jobs run unaudited rather than being refused.
 	AuditAll bool
+	// WindowsAll turns on fault-isolated windowed legalization for every
+	// eligible job (method "ours", non-resilient, non-audit), as if each
+	// request had set "windows": true. Ineligible jobs run unwindowed.
+	WindowsAll bool
+	// WindowRows is the server default rows-per-window for windowed jobs
+	// whose request leaves window_rows unset; 0 means window.DefaultWindowRows.
+	WindowRows int
+	// HedgeQuantile is the server default straggler-hedging quantile for
+	// windowed jobs whose request leaves hedge unset; 0 disables hedging.
+	HedgeQuantile float64
+	// JournalDir, when non-empty, enables the per-job write-ahead window
+	// journal: each windowed job fsyncs verified window results to
+	// JournalDir/<job-key>.wal and a restarted daemon replays completed
+	// windows instead of re-solving them. The journal is removed when the
+	// job commits.
+	JournalDir string
+	// Chaos, when non-nil, injects deterministic window-granular faults into
+	// windowed jobs. Test-only.
+	Chaos *faults.WindowChaos
 	// Logger receives structured per-job logs; nil discards them.
 	Logger *slog.Logger
 }
@@ -85,6 +108,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 64 << 20
+	}
+	if c.WindowRows <= 0 {
+		c.WindowRows = window.DefaultWindowRows
 	}
 	if c.Logger == nil {
 		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
@@ -230,10 +256,11 @@ func (s *Server) runJob(j *job) {
 			// Near-match acceleration: the warm store keys solver state by
 			// topology, so a perturbed re-submit of a known design seeds the
 			// MMSIM from the previous solution. Baseline methods carry no
-			// reusable state.
+			// reusable state, and windowed jobs solve per-band sub-designs
+			// the whole-design warm state does not match.
 			var warm *core.WarmState
 			var coldIters int
-			if j.req.Method == "ours" {
+			if !j.req.Windows && j.req.Method == "ours" {
 				if warm = s.warm.get(j.req.topoKey()); warm != nil {
 					coldIters = warm.ColdIterations()
 				}
@@ -241,7 +268,11 @@ func (s *Server) runJob(j *job) {
 			ts := time.Now()
 			var m0, m1 runtime.MemStats
 			runtime.ReadMemStats(&m0)
-			rep, err = j.req.solve(j.ctx, d, warm)
+			if j.req.Windows {
+				rep, err = s.solveWindowed(j, d)
+			} else {
+				rep, err = j.req.solve(j.ctx, d, warm)
+			}
 			runtime.ReadMemStats(&m1)
 			solveDur = time.Since(ts)
 			s.stats.observeStage("solve", solveDur.Seconds())
@@ -266,7 +297,8 @@ func (s *Server) runJob(j *job) {
 			// the audit re-run cannot reproduce) fails the job; a sealed
 			// certificate that merely fails its checks is returned to the
 			// caller with pass=false and counted.
-			doAudit := j.req.Audit || (s.cfg.AuditAll && j.req.Method == "ours" && !j.req.Resilient)
+			doAudit := j.req.Audit ||
+				(s.cfg.AuditAll && j.req.Method == "ours" && !j.req.Resilient && !j.req.Windows)
 			if err == nil && rep != nil && doAudit {
 				ta := time.Now()
 				cert, aerr := j.req.runAudit(j.ctx, d, rep)
@@ -310,6 +342,28 @@ var (
 	errDraining  = errors.New("serve: server is draining")
 )
 
+// Retry-After jitter bounds (seconds). A fixed hint synchronizes every
+// refused client onto the same retry instant, re-saturating the queue in
+// lockstep; a jittered hint spreads the retry storm.
+const (
+	retryAfterMin = 1
+	retryAfterMax = 3
+)
+
+var (
+	retryJitterMu sync.Mutex
+	retryJitter   = rand.New(rand.NewSource(time.Now().UnixNano()))
+)
+
+// retryAfterHint returns a jittered Retry-After value in
+// [retryAfterMin, retryAfterMax] whole seconds.
+func retryAfterHint() string {
+	retryJitterMu.Lock()
+	n := retryAfterMin + retryJitter.Intn(retryAfterMax-retryAfterMin+1)
+	retryJitterMu.Unlock()
+	return strconv.Itoa(n)
+}
+
 // admit performs admission control: it either owns the job (nil) or refuses
 // with errQueueFull / errDraining without blocking.
 func (s *Server) admit(j *job) error {
@@ -347,6 +401,18 @@ func (s *Server) handleLegalize(w http.ResponseWriter, r *http.Request) {
 	if err := req.validate(); err != nil {
 		s.refuse(w, http.StatusBadRequest, "invalid_input", err.Error())
 		return
+	}
+	// Resolve the windowed-mode defaults before the cache key is computed:
+	// window_rows changes the partition (result-affecting, in the key);
+	// hedge only changes scheduling (result-neutral, not in the key).
+	if req.Windows || (s.cfg.WindowsAll && req.Method == "ours" && !req.Resilient && !req.Audit) {
+		req.Windows = true
+		if req.WindowRows == 0 {
+			req.WindowRows = s.cfg.WindowRows
+		}
+		if req.Hedge == 0 {
+			req.Hedge = s.cfg.HedgeQuantile
+		}
 	}
 
 	key := req.key()
@@ -461,7 +527,7 @@ type errorBody struct {
 func (s *Server) fail(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, errQueueFull):
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", retryAfterHint())
 		s.refuse(w, http.StatusTooManyRequests, "queue_full", err.Error())
 	case errors.Is(err, errDraining):
 		s.refuse(w, http.StatusServiceUnavailable, "draining", err.Error())

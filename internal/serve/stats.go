@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"mclg/internal/mclgerr"
+	"mclg/internal/window"
 )
 
 // counter is a monotonically increasing uint64.
@@ -78,6 +79,8 @@ type serverStats struct {
 
 	jobs sync.Map // class string -> *counter
 
+	windows sync.Map // event string -> *counter (windowed-run supervision)
+
 	audits sync.Map // result string ("pass" | "fail" | "error") -> *counter
 
 	stages sync.Map // stage string -> *histogram
@@ -93,6 +96,9 @@ func newServerStats() *serverStats {
 	for _, result := range []string{"pass", "fail", "error"} {
 		s.audits.Store(result, &counter{})
 	}
+	for _, ev := range windowEvents {
+		s.windows.Store(ev, &counter{})
+	}
 	for _, st := range []string{"parse", "solve", "audit", "total"} {
 		s.stages.Store(st, newHistogram())
 	}
@@ -107,6 +113,32 @@ func (s *serverStats) jobDone(class string) {
 func (s *serverStats) auditDone(result string) {
 	c, _ := s.audits.LoadOrStore(result, &counter{})
 	c.(*counter).inc()
+}
+
+// windowEvents are the pre-registered windowed-run supervision series.
+var windowEvents = []string{
+	"solved", "resumed", "retried", "panicked",
+	"hedge_issued", "hedge_won", "degraded",
+}
+
+// windowAdd bumps one windowed-run event counter by n.
+func (s *serverStats) windowAdd(event string, n int) {
+	if n <= 0 {
+		return
+	}
+	c, _ := s.windows.LoadOrStore(event, &counter{})
+	c.(*counter).add(uint64(n))
+}
+
+// windowDone folds one windowed run's supervision stats into the registry.
+func (s *serverStats) windowDone(st *window.Stats) {
+	s.windowAdd("solved", st.Solved)
+	s.windowAdd("resumed", st.Resumed)
+	s.windowAdd("retried", st.Retries)
+	s.windowAdd("panicked", st.Panics)
+	s.windowAdd("hedge_issued", st.HedgesIssued)
+	s.windowAdd("hedge_won", st.HedgesWon)
+	s.windowAdd("degraded", st.Degraded)
 }
 
 func (s *serverStats) observeStage(stage string, seconds float64) {
@@ -174,6 +206,13 @@ func (s *serverStats) writePrometheus(w io.Writer, cache *resultCache, warm *war
 	for _, result := range sortedKeys(&s.audits) {
 		c, _ := s.audits.Load(result)
 		fmt.Fprintf(w, "mclgd_audit_total{result=%q} %d\n", result, c.(*counter).get())
+	}
+
+	fmt.Fprintf(w, "# HELP mclgd_windows_total Windowed-run supervision events (solved/resumed = how each window completed; retried/panicked/hedge_issued/hedge_won/degraded = fault handling).\n")
+	fmt.Fprintf(w, "# TYPE mclgd_windows_total counter\n")
+	for _, ev := range sortedKeys(&s.windows) {
+		c, _ := s.windows.Load(ev)
+		fmt.Fprintf(w, "mclgd_windows_total{event=%q} %d\n", ev, c.(*counter).get())
 	}
 
 	fmt.Fprintf(w, "# HELP mclgd_jobs_total Terminal jobs by mclgerr class (ok = verified legal).\n")

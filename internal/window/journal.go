@@ -1,0 +1,254 @@
+package window
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"os"
+	"sync"
+
+	"mclg/internal/mclgerr"
+)
+
+// Journal persists verified window results so a crashed or killed job can
+// resume by replaying completed windows instead of re-solving them. Every
+// recorded result is checker-verified within its window; degraded results
+// are never journaled.
+type Journal interface {
+	// Lookup returns the recorded owned-cell positions for a window.
+	Lookup(window int) ([]CellPos, bool)
+	// Record durably persists a window's verified result.
+	Record(window int, cells []CellPos) error
+}
+
+// journalHeader is the first line of a journal file. Sig content-addresses
+// the plan (design geometry + global positions + window/solver parameters):
+// records are replayed only under an identical signature, so a changed
+// input or configuration silently invalidates the journal instead of
+// resurrecting stale placements.
+type journalHeader struct {
+	V       int    `json:"v"`
+	Sig     string `json:"sig"`
+	Windows int    `json:"windows"`
+}
+
+// journalRecord is one appended window result. Sum is a FNV-1a checksum of
+// the record's content; a record whose checksum does not match (a torn
+// write from a crash mid-append) and everything after it is discarded on
+// replay.
+type journalRecord struct {
+	W     int       `json:"w"`
+	Cells []CellPos `json:"cells"`
+	Sum   string    `json:"sum"`
+}
+
+func recordSum(w int, cells []CellPos) string {
+	h := fnv.New64a()
+	var b [8]byte
+	put := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			b[i] = byte(v >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	put(uint64(w))
+	for _, c := range cells {
+		put(uint64(c.ID))
+		put(math.Float64bits(c.X))
+		put(math.Float64bits(c.Y))
+		if c.Flipped {
+			put(1)
+		} else {
+			put(0)
+		}
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// FileJournal is the append-only, fsync'd write-ahead implementation of
+// Journal. The file is one JSON object per line: a header, then one record
+// per completed window. Appends are flushed and fsync'd before Record
+// returns, so every acknowledged window survives a process kill; a torn
+// final line from a crash mid-write is detected by checksum and ignored.
+type FileJournal struct {
+	mu        sync.Mutex
+	f         *os.File
+	path      string
+	completed map[int][]CellPos
+	resumed   int
+}
+
+// OpenFileJournal opens (or creates) the journal at path for a plan with
+// the given signature and window count. An existing file with a matching
+// header has its intact records loaded for replay; a missing, unreadable,
+// torn, or mismatching file is reset to a fresh header — resuming is an
+// optimization, never a correctness risk.
+func OpenFileJournal(path string, sig uint64, windows int) (*FileJournal, error) {
+	j := &FileJournal{path: path, completed: map[int][]CellPos{}}
+	wantSig := fmt.Sprintf("%016x", sig)
+
+	if data, err := os.ReadFile(path); err == nil {
+		j.load(data, wantSig, windows)
+	}
+	j.resumed = len(j.completed)
+
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, mclgerr.Stage("journal", err)
+	}
+	if j.resumed == 0 {
+		// Fresh or invalidated journal: truncate and write a new header.
+		if err := f.Truncate(0); err != nil {
+			f.Close()
+			return nil, mclgerr.Stage("journal", err)
+		}
+		hdr, _ := json.Marshal(journalHeader{V: 1, Sig: wantSig, Windows: windows})
+		if _, err := f.Write(append(hdr, '\n')); err != nil {
+			f.Close()
+			return nil, mclgerr.Stage("journal", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, mclgerr.Stage("journal", err)
+		}
+	} else {
+		// Valid journal: append after the last intact record. Re-derive
+		// the intact length rather than seeking to EOF so a torn tail is
+		// overwritten, not extended.
+		data, _ := os.ReadFile(path)
+		n := intactLen(data, wantSig, windows)
+		if err := f.Truncate(int64(n)); err != nil {
+			f.Close()
+			return nil, mclgerr.Stage("journal", err)
+		}
+		if _, err := f.Seek(int64(n), 0); err != nil {
+			f.Close()
+			return nil, mclgerr.Stage("journal", err)
+		}
+	}
+	j.f = f
+	return j, nil
+}
+
+// load parses the journal bytes, keeping records up to the first torn or
+// invalid line. A header mismatch discards everything.
+func (j *FileJournal) load(data []byte, wantSig string, windows int) {
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
+	if !sc.Scan() {
+		return
+	}
+	var hdr journalHeader
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil ||
+		hdr.V != 1 || hdr.Sig != wantSig || hdr.Windows != windows {
+		return
+	}
+	for sc.Scan() {
+		var rec journalRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return // torn tail
+		}
+		if rec.Sum != recordSum(rec.W, rec.Cells) || rec.W < 0 || rec.W >= windows {
+			return
+		}
+		j.completed[rec.W] = rec.Cells
+	}
+}
+
+// intactLen returns the byte length of the header plus every intact record,
+// i.e. the offset appends must resume from.
+func intactLen(data []byte, wantSig string, windows int) int {
+	n := 0
+	line := 0
+	start := 0
+	for i := 0; i <= len(data); i++ {
+		if i == len(data) || data[i] == '\n' {
+			if i == len(data) && start == i {
+				break
+			}
+			chunk := data[start:i]
+			ok := false
+			if line == 0 {
+				var hdr journalHeader
+				ok = json.Unmarshal(chunk, &hdr) == nil &&
+					hdr.V == 1 && hdr.Sig == wantSig && hdr.Windows == windows
+			} else {
+				var rec journalRecord
+				ok = json.Unmarshal(chunk, &rec) == nil &&
+					rec.Sum == recordSum(rec.W, rec.Cells) &&
+					rec.W >= 0 && rec.W < windows
+			}
+			if !ok || i == len(data) {
+				if ok {
+					n = i // intact but unterminated final line: keep it
+				}
+				break
+			}
+			n = i + 1
+			line++
+			start = i + 1
+		}
+	}
+	return n
+}
+
+// Lookup implements Journal.
+func (j *FileJournal) Lookup(window int) ([]CellPos, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	cells, ok := j.completed[window]
+	return cells, ok
+}
+
+// Record implements Journal: append one record line, flush, fsync.
+func (j *FileJournal) Record(window int, cells []CellPos) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return mclgerr.Invalidf("journal: closed")
+	}
+	if _, ok := j.completed[window]; ok {
+		return nil
+	}
+	line, err := json.Marshal(journalRecord{W: window, Cells: cells, Sum: recordSum(window, cells)})
+	if err != nil {
+		return mclgerr.Stage("journal", err)
+	}
+	if _, err := j.f.Write(append(line, '\n')); err != nil {
+		return mclgerr.Stage("journal", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return mclgerr.Stage("journal", err)
+	}
+	j.completed[window] = cells
+	return nil
+}
+
+// Resumed reports how many windows were loaded from a pre-existing journal.
+func (j *FileJournal) Resumed() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.resumed
+}
+
+// Close closes the underlying file. Further Records fail.
+func (j *FileJournal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}
+
+// Remove closes and deletes the journal file — called when the job it
+// backs has committed, so a completed job never resumes.
+func (j *FileJournal) Remove() error {
+	j.Close()
+	return os.Remove(j.path)
+}

@@ -1,0 +1,196 @@
+package window
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"mclg/internal/baselines/chow"
+	"mclg/internal/core"
+	"mclg/internal/design"
+	"mclg/internal/mclgerr"
+	"mclg/internal/tetris"
+)
+
+// CellPos is one cell's solved position, keyed by the full-design cell ID.
+type CellPos struct {
+	ID      int     `json:"id"`
+	X       float64 `json:"x"`
+	Y       float64 `json:"y"`
+	Flipped bool    `json:"f,omitempty"`
+}
+
+// Result is one window's committed outcome: the positions of its owned
+// cells, plus whether the window had to degrade to the snapshot/greedy
+// fallback instead of a verified window-level solve.
+type Result struct {
+	Window   int
+	Cells    []CellPos
+	Degraded bool
+}
+
+// buildSub materializes band b as an independent sub-design: the sub rows
+// [SubLo, SubHi) at their absolute coordinates, the owned cells movable
+// (re-IDed 0..n-1, global positions preserved), and every other cell whose
+// snapshot rectangle intersects the band frozen as fixed context. The
+// returned idx maps sub cell index to full-design ID for owned cells.
+//
+// Frozen context always comes from the plan's snapshot (GX, assigned-row Y)
+// — never from another window's result — so the sub-design, and therefore
+// the window's solution, is identical for every attempt, worker count, and
+// resume history.
+func buildSub(d *design.Design, p *Plan, b *Band) (*design.Design, []int) {
+	sub := &design.Design{
+		Name:      fmt.Sprintf("%s.w%d", d.Name, b.Index),
+		Core:      d.Core,
+		RowHeight: d.RowHeight,
+		SiteW:     d.SiteW,
+	}
+	sub.Core.Lo.Y = d.RowY(b.SubLo)
+	sub.Core.Hi.Y = d.RowY(b.SubHi)
+	sub.Rows = make([]design.Row, 0, b.SubHi-b.SubLo)
+	for r := b.SubLo; r < b.SubHi; r++ {
+		row := d.Rows[r]
+		row.Index = r - b.SubLo
+		sub.Rows = append(sub.Rows, row)
+	}
+
+	yLo, yHi := sub.Core.Lo.Y, sub.Core.Hi.Y
+	isOwned := make(map[int]bool, len(b.Owned))
+	for _, id := range b.Owned {
+		isOwned[id] = true
+	}
+	var idx []int
+	for _, c := range d.Cells {
+		switch {
+		case isOwned[c.ID]:
+			cc := *c
+			cc.ID = len(sub.Cells)
+			cc.X, cc.Y = cc.GX, cc.GY
+			cc.Flipped = false
+			sub.Cells = append(sub.Cells, &cc)
+			idx = append(idx, c.ID)
+		default:
+			// Snapshot position: fixed cells as placed, foreign movable
+			// cells at (GX, assigned-row Y). Freeze it as context if it
+			// vertically overlaps the band.
+			x, y := c.X, c.Y
+			if !c.Fixed {
+				x, y = c.GX, d.RowY(p.AssignedRow[c.ID])
+			}
+			if y >= yHi || y+c.H <= yLo {
+				continue
+			}
+			cc := *c
+			cc.ID = len(sub.Cells)
+			cc.X, cc.Y = x, y
+			cc.GX, cc.GY = x, y
+			cc.Fixed = true
+			sub.Cells = append(sub.Cells, &cc)
+			idx = append(idx, -1)
+		}
+	}
+	return sub, idx
+}
+
+// poisonSub corrupts a sub-design clone with a NaN global position — the
+// chaos harness's numerical fault. It touches only the attempt's private
+// clone, so a retry rebuilds a clean sub-design.
+func poisonSub(sub *design.Design) {
+	for _, c := range sub.Cells {
+		if !c.Fixed {
+			c.GX = math.NaN()
+			c.X = c.GX
+			return
+		}
+	}
+}
+
+// solveSub runs one clean solve of band b through the resilient cascade and
+// returns the owned-cell positions. The cascade verifies window-level
+// legality before committing, so a returned Result is checker-verified
+// within the window.
+func solveSub(ctx context.Context, sub *design.Design, idx []int, b *Band, cascade core.ResilientOptions) (*Result, error) {
+	rl := core.NewResilient(cascade)
+	if _, err := rl.LegalizeContext(ctx, sub); err != nil {
+		return nil, err
+	}
+	return extract(sub, idx, b, false), nil
+}
+
+// extract collects the owned cells' positions from a solved sub-design.
+func extract(sub *design.Design, idx []int, b *Band, degraded bool) *Result {
+	res := &Result{Window: b.Index, Degraded: degraded}
+	for i, fullID := range idx {
+		if fullID < 0 {
+			continue
+		}
+		c := sub.Cells[i]
+		res.Cells = append(res.Cells, CellPos{ID: fullID, X: c.X, Y: c.Y, Flipped: c.Flipped})
+	}
+	return res
+}
+
+// degradeSub is the terminal per-window fallback: the greedy cell-by-cell
+// legalizer on a fresh sub-design, and if even that fails, the plan's
+// snapshot positions. Either way the window yields a deterministic Degraded
+// result instead of failing the job; the stitch pass repairs what it can and
+// the final whole-design legality check still gates the commit.
+func degradeSub(ctx context.Context, d *design.Design, p *Plan, b *Band) *Result {
+	sub, idx := buildSub(d, p, b)
+	if err := sub.Validate(); err == nil {
+		work := sub.Clone()
+		work.ResetToGlobal()
+		if err := chow.LegalizeContext(ctx, work); err == nil {
+			if rep := design.CheckLegal(work); rep.Legal() {
+				return extract(work, idx, b, true)
+			}
+		}
+	}
+	res := &Result{Window: b.Index, Degraded: true}
+	for _, id := range b.Owned {
+		c := d.Cells[id]
+		res.Cells = append(res.Cells, CellPos{ID: id, X: c.GX, Y: d.RowY(p.AssignedRow[id])})
+	}
+	return res
+}
+
+// stitch applies every window's owned-cell positions to a working clone,
+// runs the deterministic Tetris allocator as the boundary-reconciliation
+// pass (repairing any cross-band overlap in the context margins), verifies
+// whole-design legality, and only then commits the positions to d.
+func stitch(ctx context.Context, d *design.Design, results []*Result, workers int) error {
+	work := d.Clone()
+	for _, res := range results {
+		if res == nil {
+			return mclgerr.Invalidf("window: missing result during stitch")
+		}
+		for _, cp := range res.Cells {
+			c := work.Cells[cp.ID]
+			c.X, c.Y, c.Flipped = cp.X, cp.Y, cp.Flipped
+		}
+	}
+	tres, err := tetris.AllocateContextP(ctx, work, workers)
+	if err != nil {
+		return mclgerr.Stage("stitch", err)
+	}
+	if tres.Unplaced > 0 {
+		return &mclgerr.StageError{
+			Stage:  "stitch",
+			Err:    mclgerr.ErrUnplacedCells,
+			Detail: fmt.Sprintf("%d cells left unplaced after boundary reconciliation", tres.Unplaced),
+		}
+	}
+	if rep := design.CheckLegal(work); !rep.Legal() {
+		return &mclgerr.StageError{
+			Stage:  "stitch",
+			Err:    mclgerr.ErrUnplacedCells,
+			Detail: "stitched placement failed the legality checker: " + rep.String(),
+		}
+	}
+	for i, c := range work.Cells {
+		dc := d.Cells[i]
+		dc.X, dc.Y, dc.Flipped = c.X, c.Y, c.Flipped
+	}
+	return nil
+}

@@ -1,0 +1,313 @@
+package window
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+
+	"mclg/internal/core"
+	"mclg/internal/design"
+	"mclg/internal/faults"
+	"mclg/internal/gen"
+	"mclg/internal/regress"
+)
+
+// trioCases mirrors the regress golden trio.
+var trioCases = []struct {
+	bench string
+	scale float64
+}{
+	{"des_perf_1", 0.004},
+	{"fft_2", 0.004},
+	{"superblue19", 0.002},
+}
+
+func genDesign(t *testing.T, bench string, scale float64) *design.Design {
+	t.Helper()
+	e, err := gen.FindEntry(bench)
+	if err != nil {
+		t.Fatalf("FindEntry(%s): %v", bench, err)
+	}
+	d, err := gen.Generate(gen.SuiteSpec(e, scale))
+	if err != nil {
+		t.Fatalf("Generate(%s): %v", bench, err)
+	}
+	return d
+}
+
+func baseOptions(workers int) Options {
+	return Options{
+		Cascade: core.ResilientOptions{
+			Base: core.Options{Workers: workers},
+		},
+		WindowRows:    4,
+		ContextRows:   2,
+		WindowTimeout: 2 * time.Minute,
+	}
+}
+
+// leakCheck fails the test if goroutines spawned during the checked section
+// have not exited.
+func leakCheck(t *testing.T) func() {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for runtime.NumGoroutine() > before {
+			if time.Now().After(deadline) {
+				buf := make([]byte, 1<<20)
+				n := runtime.Stack(buf, true)
+				t.Fatalf("goroutine leak: %d before, %d after\n%s",
+					before, runtime.NumGoroutine(), buf[:n])
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+}
+
+func TestPartitionCoversEveryMovableCellOnce(t *testing.T) {
+	d := genDesign(t, "fft_2", 0.004)
+	p, err := Partition(d, 4, 2)
+	if err != nil {
+		t.Fatalf("Partition: %v", err)
+	}
+	seen := make(map[int]int)
+	for _, b := range p.Bands {
+		if b.SubLo > b.RowLo || b.SubHi < b.RowHi {
+			t.Fatalf("band %d: sub range [%d,%d) does not cover owned [%d,%d)",
+				b.Index, b.SubLo, b.SubHi, b.RowLo, b.RowHi)
+		}
+		for _, id := range b.Owned {
+			seen[id]++
+			if p.Owner[id] != b.Index {
+				t.Fatalf("cell %d: owner %d != band %d", id, p.Owner[id], b.Index)
+			}
+			r := p.AssignedRow[id]
+			if r < b.RowLo || r >= b.RowHi {
+				t.Fatalf("cell %d: assigned row %d outside band [%d,%d)", id, r, b.RowLo, b.RowHi)
+			}
+			if top := r + d.Cells[id].RowSpan; top > b.SubHi {
+				t.Fatalf("cell %d: span top %d exceeds sub range %d", id, top, b.SubHi)
+			}
+		}
+	}
+	for _, c := range d.Cells {
+		if c.Fixed {
+			continue
+		}
+		if seen[c.ID] != 1 {
+			t.Fatalf("cell %d owned by %d bands, want exactly 1", c.ID, seen[c.ID])
+		}
+	}
+	if len(p.Bands) < 2 {
+		t.Fatalf("expected multiple bands, got %d", len(p.Bands))
+	}
+}
+
+// TestWindowedLegalAndDeterministic pins the windowed determinism contract
+// on the regress trio: every worker count produces a checker-legal placement
+// with one bit-identical position hash.
+func TestWindowedLegalAndDeterministic(t *testing.T) {
+	for _, tc := range trioCases {
+		tc := tc
+		t.Run(tc.bench, func(t *testing.T) {
+			t.Parallel()
+			var wantHash string
+			for _, workers := range []int{1, 2, 8} {
+				d := genDesign(t, tc.bench, tc.scale)
+				st, err := Legalize(context.Background(), d, baseOptions(workers))
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if rep := design.CheckLegal(d); !rep.Legal() {
+					t.Fatalf("workers=%d: illegal placement: %s", workers, rep.String())
+				}
+				if st.Solved+st.Resumed != st.Windows {
+					t.Fatalf("workers=%d: solved %d + resumed %d != windows %d",
+						workers, st.Solved, st.Resumed, st.Windows)
+				}
+				h := regress.PositionHash(d)
+				if wantHash == "" {
+					wantHash = h
+				} else if h != wantHash {
+					t.Fatalf("workers=%d: hash %s != workers=1 hash %s", workers, h, wantHash)
+				}
+			}
+		})
+	}
+}
+
+// chaosSpec is a copyable WindowChaos template (WindowChaos itself carries
+// an atomic counter and must not be copied once in use).
+type chaosSpec struct {
+	PanicFrac, StallFrac, NaNFrac float64
+	MaxAttempt                    int
+}
+
+func (cs chaosSpec) with(seed uint64) *faults.WindowChaos {
+	return &faults.WindowChaos{
+		Seed:      seed,
+		PanicFrac: cs.PanicFrac, StallFrac: cs.StallFrac, NaNFrac: cs.NaNFrac,
+		MaxAttempt: cs.MaxAttempt,
+	}
+}
+
+// chaosSeed finds a deterministic seed whose faulted window count lies in
+// [1, maxFaulted] for the given window count and chaos template.
+func chaosSeed(t *testing.T, spec chaosSpec, windows, maxFaulted int) uint64 {
+	t.Helper()
+	for seed := uint64(1); seed < 10000; seed++ {
+		c := spec.with(seed)
+		n := 0
+		for w := 0; w < windows; w++ {
+			if c.Fault(w, 0) != faults.FaultNone {
+				n++
+			}
+		}
+		if n >= 1 && n <= maxFaulted {
+			return seed
+		}
+	}
+	t.Fatalf("no chaos seed yields 1..%d faulted of %d windows", maxFaulted, windows)
+	return 0
+}
+
+// TestChaosContainment is the acceptance-criteria test: panics, stalls, and
+// NaN poisoning injected into ≤20% of windows must be fully contained — the
+// placement is still checker-legal and bit-identical to the fault-free
+// windowed run at every worker count, and no goroutine leaks.
+func TestChaosContainment(t *testing.T) {
+	for _, tc := range trioCases {
+		tc := tc
+		t.Run(tc.bench, func(t *testing.T) {
+			t.Parallel()
+			clean := genDesign(t, tc.bench, tc.scale)
+			if _, err := Legalize(context.Background(), clean, baseOptions(1)); err != nil {
+				t.Fatalf("fault-free run: %v", err)
+			}
+			wantHash := regress.PositionHash(clean)
+
+			p, err := Partition(genDesign(t, tc.bench, tc.scale), 4, 2)
+			if err != nil {
+				t.Fatalf("Partition: %v", err)
+			}
+			windows := len(p.Bands)
+			maxFaulted := windows / 5
+			if maxFaulted < 1 {
+				maxFaulted = 1
+			}
+			template := chaosSpec{PanicFrac: 0.07, StallFrac: 0.07, NaNFrac: 0.07}
+			seed := chaosSeed(t, template, windows, maxFaulted)
+
+			for _, workers := range []int{1, 2, 8} {
+				check := leakCheck(t)
+				chaos := template.with(seed)
+				d := genDesign(t, tc.bench, tc.scale)
+				opts := baseOptions(workers)
+				opts.Chaos = chaos
+				opts.WindowTimeout = 2 * time.Second // bound injected stalls
+				opts.RetryBackoff = time.Millisecond
+				st, err := Legalize(context.Background(), d, opts)
+				if err != nil {
+					t.Fatalf("workers=%d: chaotic run failed: %v", workers, err)
+				}
+				if chaos.Injected.Load() == 0 {
+					t.Fatalf("workers=%d: chaos harness injected nothing", workers)
+				}
+				if st.Retries == 0 {
+					t.Fatalf("workers=%d: expected supervised retries, got none (stats %+v)", workers, st)
+				}
+				if st.Degraded != 0 {
+					t.Fatalf("workers=%d: transient faults must not degrade windows (stats %+v)", workers, st)
+				}
+				if rep := design.CheckLegal(d); !rep.Legal() {
+					t.Fatalf("workers=%d: illegal placement under chaos: %s", workers, rep.String())
+				}
+				if h := regress.PositionHash(d); h != wantHash {
+					t.Fatalf("workers=%d: chaotic hash %s != fault-free hash %s", workers, h, wantHash)
+				}
+				check()
+			}
+		})
+	}
+}
+
+// TestPersistentFaultDegradesWindow drives one window into permanent panic:
+// every attempt fails, the supervisor degrades that window to the greedy
+// fallback, and the job still commits a checker-legal placement.
+func TestPersistentFaultDegradesWindow(t *testing.T) {
+	check := leakCheck(t)
+	d := genDesign(t, "fft_2", 0.004)
+	p, err := Partition(d, 4, 2)
+	if err != nil {
+		t.Fatalf("Partition: %v", err)
+	}
+	template := chaosSpec{PanicFrac: 0.2, MaxAttempt: hedgeAttempt * 2}
+	seed := chaosSeed(t, template, len(p.Bands), 1)
+
+	opts := baseOptions(2)
+	opts.Chaos = template.with(seed)
+	opts.RetryBackoff = time.Millisecond
+	st, err := Legalize(context.Background(), d, opts)
+	if err != nil {
+		t.Fatalf("Legalize: %v", err)
+	}
+	if st.Degraded == 0 {
+		t.Fatalf("expected a degraded window, stats %+v", st)
+	}
+	if st.Panics == 0 {
+		t.Fatalf("expected recovered panics, stats %+v", st)
+	}
+	if rep := design.CheckLegal(d); !rep.Legal() {
+		t.Fatalf("degraded run produced illegal placement: %s", rep.String())
+	}
+	check()
+}
+
+// TestHedgeWinsOverStalledPrimary stalls a window's primary attempts
+// persistently; the straggler hedge (which the chaos harness never faults)
+// must win, commit the clean result, and promptly cancel the stalled
+// primary — with the same hash as a fault-free run and no leaked goroutines.
+func TestHedgeWinsOverStalledPrimary(t *testing.T) {
+	check := leakCheck(t)
+	clean := genDesign(t, "fft_2", 0.004)
+	if _, err := Legalize(context.Background(), clean, baseOptions(2)); err != nil {
+		t.Fatalf("fault-free run: %v", err)
+	}
+	wantHash := regress.PositionHash(clean)
+
+	d := genDesign(t, "fft_2", 0.004)
+	p, err := Partition(d, 4, 2)
+	if err != nil {
+		t.Fatalf("Partition: %v", err)
+	}
+	// Persistent stall on primary attempts only (MaxAttempt ≪ hedgeAttempt).
+	template := chaosSpec{StallFrac: 0.2, MaxAttempt: 64}
+	seed := chaosSeed(t, template, len(p.Bands), 1)
+
+	opts := baseOptions(4)
+	opts.Chaos = template.with(seed)
+	opts.WindowTimeout = 30 * time.Second
+	opts.MaxRetries = -1 // stalled primaries burn the whole deadline; rely on the hedge
+	opts.HedgeQuantile = 0.5
+	t0 := time.Now()
+	st, err := Legalize(context.Background(), d, opts)
+	if err != nil {
+		t.Fatalf("Legalize: %v", err)
+	}
+	if st.HedgesIssued == 0 || st.HedgesWon == 0 {
+		t.Fatalf("expected winning hedges, stats %+v", st)
+	}
+	if elapsed := time.Since(t0); elapsed > 25*time.Second {
+		t.Fatalf("hedge did not preempt the stalled primary (took %v)", elapsed)
+	}
+	if rep := design.CheckLegal(d); !rep.Legal() {
+		t.Fatalf("hedged run produced illegal placement: %s", rep.String())
+	}
+	if h := regress.PositionHash(d); h != wantHash {
+		t.Fatalf("hedged hash %s != fault-free hash %s", h, wantHash)
+	}
+	check()
+}
