@@ -70,6 +70,7 @@ func main() {
 		windowsOn  = flag.Bool("windows", false, "fault-isolated windowed legalization: solve per-row-band windows under supervision (retry, hedging, degradation) and stitch deterministically (method ours only)")
 		windowRows = flag.Int("window-rows", 0, "rows per window with -windows (0 = default 16)")
 		hedge      = flag.Float64("hedge", 0, "straggler-hedging quantile in (0,1] with -windows: re-issue the slowest windows once this fraction has completed (0 = off)")
+		ecoPath    = flag.String("eco", "", "apply an ECO delta stream (JSON file) to the legal base placement via dirty-window re-legalization, then certify by replay")
 	)
 	flag.Parse()
 	if *jsonOut {
@@ -81,8 +82,15 @@ func main() {
 	if *windowsOn && (*method != "ours" || *resilient || *auditRun) {
 		fatal(fmt.Errorf("-windows requires method ours, without -resilient or -audit"))
 	}
-	if !*windowsOn && (*windowRows != 0 || *hedge != 0) {
-		fatal(fmt.Errorf("-window-rows and -hedge require -windows"))
+	if !*windowsOn && *ecoPath == "" && *windowRows != 0 {
+		fatal(fmt.Errorf("-window-rows requires -windows or -eco"))
+	}
+	if !*windowsOn && *hedge != 0 {
+		fatal(fmt.Errorf("-hedge requires -windows"))
+	}
+	if *ecoPath != "" && (*method != "ours" || *resilient || *auditRun || *windowsOn ||
+		*refineObj != "" || *checkOnly || *runGP || *serverURL != "") {
+		fatal(fmt.Errorf("-eco runs locally with method ours and no other pipeline flags"))
 	}
 	if *hedge < 0 || *hedge > 1 {
 		fatal(fmt.Errorf("-hedge %g out of range [0, 1]", *hedge))
@@ -114,6 +122,14 @@ func main() {
 	}
 	fmt.Fprintf(info, "design %s: %d cells (%d multi-row), %d rows, density %.2f\n",
 		d.Name, len(d.Cells), countMulti(d), len(d.Rows), d.Density())
+
+	if *ecoPath != "" {
+		runEco(ctx, d, *ecoPath,
+			core.Options{Lambda: *lambda, Beta: *beta, Theta: *theta, Eps: *eps,
+				AutoTheta: *autoTheta, Workers: *workers},
+			*windowRows, *jsonOut, *outPath)
+		return
+	}
 
 	if *runGP {
 		res, err := gp.Place(d, gp.Options{})

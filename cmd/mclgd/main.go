@@ -38,6 +38,8 @@ func main() {
 		windowRows   = flag.Int("window-rows", 0, "default rows per window for windowed jobs (0 = 16)")
 		hedgeQ       = flag.Float64("hedge", 0, "default straggler-hedging quantile in (0,1] for windowed jobs (0 = off)")
 		journalDir   = flag.String("journal-dir", "", "directory for per-job write-ahead window journals; a restarted daemon resumes interrupted windowed jobs from it (empty = journaling off)")
+		ecoDir       = flag.String("eco-dir", "", "directory for durable /v1/eco session delta logs; a restarted daemon replays them to resume live sessions (empty = sessions are memory-only)")
+		ecoSessions  = flag.Int("eco-sessions", 8, "max concurrently open /v1/eco sessions")
 		pprofOn      = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (off by default)")
 		jobTimeout   = flag.Duration("job-timeout", 60*time.Second, "default per-job deadline (requests may shorten it)")
 		maxJobTime   = flag.Duration("max-job-timeout", 2*time.Minute, "hard cap on any per-job deadline")
@@ -58,6 +60,8 @@ func main() {
 		WindowRows:        *windowRows,
 		HedgeQuantile:     *hedgeQ,
 		JournalDir:        *journalDir,
+		ECODir:            *ecoDir,
+		ECOSessionCap:     *ecoSessions,
 		Logger:            logger,
 	})
 
@@ -80,7 +84,8 @@ func main() {
 	httpSrv := &http.Server{Handler: handler}
 	logger.Info("mclgd listening", "addr", ln.Addr().String(),
 		"pool", *pool, "queue", *queueCap, "cache", *cacheCap, "warm", *warmCap,
-		"audit", *auditAll, "windows", *windowsAll, "journal_dir", *journalDir)
+		"audit", *auditAll, "windows", *windowsAll, "journal_dir", *journalDir,
+		"eco_dir", *ecoDir, "eco_sessions", *ecoSessions)
 
 	errCh := make(chan error, 1)
 	go func() {

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"container/list"
+	"sync"
+)
+
+// WarmPool holds WarmStates under caller-chosen keys with LRU eviction. It
+// extends the warm-start machinery from "one whole-design topology" to
+// sub-design solves: an ECO session keys a state per dirty-window row range,
+// a serving layer keys one per request topology, and each state then
+// licenses its own reuse through the structure signature (see WarmState) —
+// the pool only decides *which* state a solve consults, never *whether*
+// reuse is sound. Passing a pooled state to a sub-design whose structure
+// drifted is therefore always safe: the signature mismatch makes that solve
+// run cold and re-prime the state.
+//
+// A WarmPool is safe for concurrent use. The states it returns serialize
+// the solves that share them (WarmState holds its mutex for a full solve),
+// so concurrent solves under one key queue while solves under different
+// keys proceed in parallel.
+type WarmPool struct {
+	mu      sync.Mutex
+	cap     int
+	ll      *list.List // front = most recently used; values are *warmPoolEntry
+	entries map[string]*list.Element
+
+	evictions uint64
+}
+
+type warmPoolEntry struct {
+	key   string
+	state *WarmState
+}
+
+// NewWarmPool builds a pool holding up to cap warm states; cap <= 0
+// disables warm starting entirely (Get returns nil, which every solver
+// accepts as "run cold").
+func NewWarmPool(cap int) *WarmPool {
+	return &WarmPool{
+		cap:     cap,
+		ll:      list.New(),
+		entries: make(map[string]*list.Element),
+	}
+}
+
+// Get returns the warm state under key, creating (and LRU-bumping) it as
+// needed. A nil return means warm starting is disabled.
+func (p *WarmPool) Get(key string) *WarmState {
+	if p == nil || p.cap <= 0 {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if el, ok := p.entries[key]; ok {
+		p.ll.MoveToFront(el)
+		return el.Value.(*warmPoolEntry).state
+	}
+	st := NewWarmState()
+	p.entries[key] = p.ll.PushFront(&warmPoolEntry{key: key, state: st})
+	for p.ll.Len() > p.cap {
+		last := p.ll.Back()
+		p.ll.Remove(last)
+		delete(p.entries, last.Value.(*warmPoolEntry).key)
+		p.evictions++
+	}
+	return st
+}
+
+// Len reports the number of resident states.
+func (p *WarmPool) Len() int {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.ll.Len()
+}
+
+// Evictions reports the lifetime eviction count.
+func (p *WarmPool) Evictions() uint64 {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.evictions
+}

@@ -1,0 +1,131 @@
+package eco
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync"
+	"testing"
+
+	"mclg/internal/design"
+	"mclg/internal/mclgerr"
+	"mclg/internal/regress"
+)
+
+// fuzzBase caches one legalized fft_2@0.004 design: Create over it skips the
+// cold solve, so each fuzz iteration pays only the delta pipeline.
+var fuzzBase struct {
+	once sync.Once
+	d    *design.Design
+}
+
+func legalFuzzBase(tb testing.TB) *design.Design {
+	fuzzBase.once.Do(func() {
+		s, err := Create(context.Background(), "seed", testDesign(tb, "fft_2", 0.004), Options{})
+		if err != nil {
+			tb.Fatalf("legalizing fuzz base: %v", err)
+		}
+		fuzzBase.d = s.Design()
+	})
+	return fuzzBase.d
+}
+
+// fuzzDeltas decodes an arbitrary byte stream into delta batches. The
+// decoder is intentionally sloppy: coordinates land inside, outside, and far
+// outside the core, IDs run past the cell array, sizes break row-height
+// alignment, ops are sometimes garbage, and a NaN byte poisons a coordinate
+// — the fuzzer explores both the accept and every reject path.
+func fuzzDeltas(d *design.Design, data []byte) [][]Delta {
+	next := func() byte {
+		if len(data) == 0 {
+			return 0
+		}
+		b := data[0]
+		data = data[1:]
+		return b
+	}
+	coord := func(lo, hi float64) float64 {
+		b := next()
+		switch b % 16 {
+		case 0:
+			return lo - 3*(hi-lo) // far out
+		case 1:
+			return math.NaN()
+		case 2:
+			return hi + float64(next())
+		default:
+			return lo + (hi-lo)*float64(b)/255
+		}
+	}
+	ops := []Op{OpMove, OpInsert, OpDelete, OpResize, Op("bogus")}
+	var batches [][]Delta
+	for len(data) > 0 && len(batches) < 3 {
+		n := int(next()%4) + 1
+		var batch []Delta
+		for i := 0; i < n && len(data) > 0; i++ {
+			op := ops[next()%byte(len(ops))]
+			dl := Delta{Op: op, Cell: int(next()) - 8} // negative and overflow IDs included
+			switch op {
+			case OpMove, OpInsert:
+				dl.X = coord(d.Core.Lo.X, d.Core.Hi.X)
+				dl.Y = coord(d.Core.Lo.Y, d.Core.Hi.Y)
+				if op == OpInsert {
+					dl.Name = "u_fz"
+					dl.W = float64(next()%8+1) * d.SiteW
+					dl.H = float64(next()%4) * d.RowHeight / 2 // half-heights are invalid
+					if next()%4 == 0 {
+						dl.Rail = "VXX"
+					}
+				}
+			case OpResize:
+				dl.W = float64(next()) * d.SiteW / 4
+				dl.H = float64(next()%5) * d.RowHeight
+			}
+			batch = append(batch, dl)
+		}
+		batches = append(batches, batch)
+	}
+	return batches
+}
+
+// FuzzECODeltas feeds random valid/invalid delta streams into a live
+// session and asserts the three session invariants no input may break:
+// applies never panic, rejected batches leave the session bit-identical
+// and carry a typed mclgerr error, and every committed state passes the
+// whole-design legality checker with a self-consistent hash.
+func FuzzECODeltas(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{255, 254, 253, 252, 251, 250, 249, 248, 200, 100, 50, 25})
+	f.Add([]byte{3, 60, 120, 180, 240, 17, 34, 51, 68, 85, 102, 119, 136, 153})
+	base := legalFuzzBase(f)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Create(context.Background(), "fuzz", base.Clone(), Options{})
+		if err != nil {
+			t.Fatalf("Create: %v", err)
+		}
+		for _, batch := range fuzzDeltas(base, data) {
+			seq, hash := s.Seq(), s.PosHash()
+			res, err := s.Apply(context.Background(), batch)
+			if err != nil {
+				if !errors.Is(err, mclgerr.ErrInvalidInput) && mclgerr.Class(err) == "other" {
+					t.Fatalf("untyped rejection: %v", err)
+				}
+				if s.Seq() != seq || s.PosHash() != hash {
+					t.Fatalf("rejected batch mutated the session: seq %d->%d hash %s->%s",
+						seq, s.Seq(), hash, s.PosHash())
+				}
+				continue
+			}
+			got := s.Design()
+			if rep := design.CheckLegal(got); !rep.Legal() {
+				t.Fatalf("committed illegal placement: %s", rep.String())
+			}
+			if res.Seq != seq+1 || res.PosHash != s.PosHash() || res.PosHash != regress.PositionHash(got) {
+				t.Fatalf("inconsistent commit: res=%+v session seq=%d hash=%s", res, s.Seq(), s.PosHash())
+			}
+		}
+	})
+}

@@ -1,0 +1,469 @@
+package eco
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"mclg/internal/baselines/chow"
+	"mclg/internal/core"
+	"mclg/internal/design"
+	"mclg/internal/mclgerr"
+	"mclg/internal/regress"
+	"mclg/internal/window"
+)
+
+// Session is a live ECO legalization session: a committed legal placement,
+// the occupancy grid mirroring it, and the append-only delta journal that
+// reproduces it from the base design. All methods are safe for concurrent
+// use; applies serialize.
+type Session struct {
+	mu   sync.Mutex
+	id   string
+	opts Options
+
+	base *design.Design // pristine input clone — the replay seed
+	cur  *design.Design // committed: X/Y legal, GX/GY current targets
+	occ  *design.Occupancy
+
+	seq      int
+	log      []Batch
+	posHash  string
+	baseHash string // state-zero hash (legalized base, before any batch)
+
+	warm *core.WarmPool // one WarmState per dirty-run row range
+
+	flog    *fileLog
+	resumed int
+
+	closed bool
+	stats  Stats
+}
+
+// Stats summarizes a session's lifetime activity.
+type Stats struct {
+	Seq      int    `json:"seq"`
+	Cells    int    `json:"cells"`
+	Applies  uint64 `json:"applies"`
+	Rejected uint64 `json:"rejected"`
+	Deltas   uint64 `json:"deltas"`
+	Runs     uint64 `json:"runs"`
+	Repaired uint64 `json:"repaired"` // runs that fell back to chow local repair
+	Resumed  int    `json:"resumed"`  // batches replayed from the durable log
+	PosHash  string `json:"pos_hash"`
+}
+
+// ApplyResult reports one accepted batch.
+type ApplyResult struct {
+	Seq       int    `json:"seq"`
+	Deltas    int    `json:"deltas"`
+	DirtyRows int    `json:"dirty_rows"`
+	Bands     int    `json:"bands"` // dirty bands re-solved
+	Runs      int    `json:"runs"`  // merged contiguous runs
+	Repaired  int    `json:"repaired"`
+	Cells     int    `json:"cells"`
+	PosHash   string `json:"pos_hash"`
+}
+
+// Create opens a session over design d. The input is cloned twice — once as
+// the pristine replay base, once as the working state — and if the input
+// placement is not already legal it is cold-legalized deterministically
+// through the resilient cascade, so state 0 is always checker-verified.
+//
+// With Options.LogPath set, the session is durable: an existing compatible
+// log at that path is resumed by replaying its batches (a mid-session
+// process restart lands exactly where it left off), and every subsequently
+// accepted batch is appended write-ahead before it commits.
+func Create(ctx context.Context, id string, d *design.Design, opts Options) (*Session, error) {
+	opts = opts.withDefaults()
+	if err := d.Validate(); err != nil {
+		return nil, mclgerr.Stage("eco-create", err)
+	}
+	s := &Session{
+		id:   id,
+		opts: opts,
+		base: d.Clone(),
+		cur:  d.Clone(),
+		warm: core.NewWarmPool(opts.WarmCap),
+	}
+	if !design.CheckLegal(s.cur).Legal() {
+		rl := core.NewResilient(core.ResilientOptions{Base: opts.Core})
+		if _, err := rl.LegalizeContext(ctx, s.cur); err != nil {
+			return nil, err
+		}
+	}
+	if err := s.rebuildOcc(); err != nil {
+		return nil, err
+	}
+	s.posHash = regress.PositionHash(s.cur)
+	s.baseHash = s.posHash
+	s.stats.Cells = len(s.cur.Cells)
+	s.stats.PosHash = s.posHash
+
+	if opts.LogPath != "" {
+		fl, records, err := openFileLog(opts.LogPath, id, s.logSig(), s.posHash, opts.LogMeta)
+		if err != nil {
+			return nil, err
+		}
+		s.flog = fl
+		for _, rec := range records {
+			res, err := s.applyLocked(ctx, rec.Deltas, false)
+			if err != nil {
+				fl.Close()
+				return nil, mclgerr.Stage("eco-resume",
+					fmt.Errorf("replaying logged batch %d: %w", rec.Seq, err))
+			}
+			if res.Seq != rec.Seq || res.PosHash != rec.PosHash {
+				fl.Close()
+				return nil, mclgerr.Invalidf(
+					"eco-resume: logged batch %d replays to seq %d hash %s (logged %s) — log does not belong to this base/configuration",
+					rec.Seq, res.Seq, res.PosHash, rec.PosHash)
+			}
+		}
+		s.resumed = len(records)
+		s.stats.Resumed = s.resumed
+	}
+	return s, nil
+}
+
+// logSig content-addresses everything a logged batch's outcome depends on:
+// the pristine base design plus the window and solver parameters
+// (window.Sig), and the ECO margin. A durable log resumes only under an
+// identical signature.
+func (s *Session) logSig() string {
+	return fmt.Sprintf("%016x.m%d", window.Sig(s.base, s.opts.WindowRows, s.opts.ContextRows, s.opts.Core), s.opts.MarginRows)
+}
+
+// rebuildOcc reconstructs the occupancy grid from the committed placement:
+// fixed cells block their (possibly off-grid) area, movable cells occupy
+// their legal sites.
+func (s *Session) rebuildOcc() error {
+	occ := design.NewOccupancy(s.cur)
+	for _, c := range s.cur.Cells {
+		if c.Fixed {
+			occ.BlockArea(c.ID, c.X, c.Y, c.W, c.H)
+			continue
+		}
+		if err := occ.Place(c, c.X, c.Y); err != nil {
+			return mclgerr.Stage("eco-occupancy", err)
+		}
+	}
+	s.occ = occ
+	return nil
+}
+
+// ID returns the session identifier.
+func (s *Session) ID() string { return s.id }
+
+// Seq returns the committed batch count.
+func (s *Session) Seq() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seq
+}
+
+// PosHash returns the committed placement hash.
+func (s *Session) PosHash() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.posHash
+}
+
+// Resumed reports how many batches Create replayed from a durable log.
+func (s *Session) Resumed() int { return s.resumed }
+
+// BaseHash returns the state-zero placement hash (the legalized base,
+// before any batch).
+func (s *Session) BaseHash() string { return s.baseHash }
+
+// Design returns a clone of the committed placement.
+func (s *Session) Design() *design.Design {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cur.Clone()
+}
+
+// Log returns a copy of the accepted delta journal.
+func (s *Session) Log() []Batch {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Batch, len(s.log))
+	copy(out, s.log)
+	return out
+}
+
+// Statistics returns a snapshot of the session counters.
+func (s *Session) Statistics() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Seq = s.seq
+	st.Cells = len(s.cur.Cells)
+	st.PosHash = s.posHash
+	return st
+}
+
+// Occupied reports the number of occupied sites in the live grid.
+func (s *Session) Occupied() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.occ.UsedSites()
+}
+
+// Close ends the session. A durable session's log file is removed — a
+// closed session must never be resumed by a restart. Further applies fail
+// with ErrInvalidInput.
+func (s *Session) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.flog != nil {
+		return s.flog.Remove()
+	}
+	return nil
+}
+
+// Apply validates and applies one delta batch atomically: either every
+// delta is valid, every dirty run re-legalizes (or locally repairs), the
+// whole-design checker passes, and the batch is journaled and committed —
+// or the session is left exactly as it was and a typed error explains why.
+func (s *Session) Apply(ctx context.Context, deltas []Delta) (*ApplyResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.applyLocked(ctx, deltas, true)
+}
+
+func (s *Session) applyLocked(ctx context.Context, deltas []Delta, persist bool) (*ApplyResult, error) {
+	if s.closed {
+		return nil, mclgerr.Invalidf("eco: session %s is closed", s.id)
+	}
+	if len(deltas) == 0 {
+		return nil, mclgerr.Invalidf("eco: empty delta batch")
+	}
+	res, work, err := s.solveBatch(ctx, deltas)
+	if err != nil {
+		s.stats.Rejected++
+		return nil, err
+	}
+
+	// Write-ahead: the batch is durable before it is visible. A crash after
+	// the append replays the batch on resume; a crash before it loses the
+	// batch entirely — never a half-state.
+	if persist && s.flog != nil {
+		if err := s.flog.Append(logRecord{Seq: res.Seq, Deltas: deltas, PosHash: res.PosHash}); err != nil {
+			s.stats.Rejected++
+			return nil, err
+		}
+	}
+
+	s.cur = work
+	if err := s.rebuildOcc(); err != nil {
+		// The placement passed the whole-design checker, so the grid must
+		// accept it; failing here is a programming error, not a user input.
+		return nil, err
+	}
+	s.seq = res.Seq
+	s.posHash = res.PosHash
+	s.log = append(s.log, Batch{Seq: res.Seq, Deltas: append([]Delta(nil), deltas...)})
+	s.stats.Applies++
+	s.stats.Deltas += uint64(len(deltas))
+	s.stats.Runs += uint64(res.Runs)
+	s.stats.Repaired += uint64(res.Repaired)
+	return res, nil
+}
+
+// solveBatch runs the full dirty-window pipeline on a working clone and
+// returns the verified result without touching session state.
+func (s *Session) solveBatch(ctx context.Context, deltas []Delta) (*ApplyResult, *design.Design, error) {
+	// 1. Validate and apply the deltas to a working clone, accumulating
+	// dirty rows and touched cells. Any invalid delta rejects the batch.
+	work := s.cur.Clone()
+	mut := newMutator(work, s.opts.MarginRows)
+	for i, dl := range deltas {
+		if err := mut.apply(i, dl); err != nil {
+			return nil, nil, err
+		}
+	}
+	if err := work.Validate(); err != nil {
+		return nil, nil, err
+	}
+
+	// 2. Build the assignment view: touched cells keep their new targets,
+	// untouched movable cells are pinned to their committed positions (GX/GY
+	// := X/Y), so Partition assigns untouched cells to their committed rows
+	// and the re-solve treats "stay where you are" as their objective.
+	av := work.Clone()
+	for _, c := range av.Cells {
+		if !c.Fixed && !mut.touched[c.ID] {
+			c.GX, c.GY = c.X, c.Y
+		}
+	}
+	plan, err := window.Partition(av, s.opts.WindowRows, s.opts.ContextRows)
+	if err != nil {
+		return nil, nil, err
+	}
+	dirty := plan.DirtyBands(av, mut.dirty)
+
+	// 3. Merge dirty bands whose sub-design row ranges overlap into
+	// contiguous runs; distinct runs own disjoint rows and solve
+	// independently.
+	runs := mergeRuns(plan, dirty)
+
+	// 4. Re-legalize each run through the resilient cascade with per-run
+	// warm-state reuse; fall back to chow-style one-cell-at-a-time local
+	// repair when the cascade fails. Either path yields checker-verified
+	// positions or rejects the batch.
+	repaired := 0
+	for _, r := range runs {
+		cells, rep, err := s.solveRun(ctx, av, plan, r, mut.touched)
+		if err != nil {
+			return nil, nil, err
+		}
+		if rep {
+			repaired++
+		}
+		for _, cp := range cells {
+			c := work.Cells[cp.ID]
+			c.X, c.Y, c.Flipped = cp.X, cp.Y, cp.Flipped
+		}
+	}
+
+	// 5. The whole-design checker gates the commit: only fully verified
+	// placements become session state, whatever the per-run solvers claimed.
+	if rep := design.CheckLegal(work); !rep.Legal() {
+		return nil, nil, &mclgerr.StageError{
+			Stage:  "eco-verify",
+			Err:    mclgerr.ErrUnplacedCells,
+			Detail: "re-legalized placement failed the legality checker: " + rep.String(),
+		}
+	}
+
+	res := &ApplyResult{
+		Seq:       s.seq + 1,
+		Deltas:    len(deltas),
+		DirtyRows: len(mut.dirty),
+		Bands:     len(dirty),
+		Runs:      len(runs),
+		Repaired:  repaired,
+		Cells:     len(work.Cells),
+		PosHash:   regress.PositionHash(work),
+	}
+	return res, work, nil
+}
+
+// run is a contiguous range of dirty bands: rows [lo, hi) of the sub-design
+// union, solved as one window.
+type run struct {
+	lo, hi int
+	bands  []int // indices into plan.Bands, ascending
+}
+
+// mergeRuns folds ascending dirty band indices into runs, merging bands
+// whose [SubLo, SubHi) ranges overlap so no two runs share a row.
+func mergeRuns(p *window.Plan, dirty []int) []run {
+	var runs []run
+	for _, bi := range dirty {
+		b := p.Bands[bi]
+		if n := len(runs); n > 0 && b.SubLo < runs[n-1].hi {
+			r := &runs[n-1]
+			if b.SubHi > r.hi {
+				r.hi = b.SubHi
+			}
+			r.bands = append(r.bands, bi)
+			continue
+		}
+		runs = append(runs, run{lo: b.SubLo, hi: b.SubHi, bands: []int{bi}})
+	}
+	return runs
+}
+
+// solveRun re-legalizes one dirty run. The primary path is the resilient
+// cascade on the run's sub-design, warm-seeded by the pooled state for this
+// row range (the structure signature inside the state decides whether the
+// seed is actually consulted — a drifted run solves cold and re-primes).
+// When the cascade cannot produce a verified placement, the fallback
+// rebuilds the run with only the *touched* cells movable and places them
+// one at a time with the chow greedy against the committed surroundings.
+// Both paths return window-verified positions; the caller still runs the
+// whole-design checker before committing.
+func (s *Session) solveRun(ctx context.Context, av *design.Design, p *window.Plan, r run, touched map[int]bool) ([]window.CellPos, bool, error) {
+	sub, idx := p.BuildRun(av, r.bands)
+	cascade := core.ResilientOptions{Base: s.opts.Core}
+	cascade.Base.Warm = s.warm.Get(fmt.Sprintf("rows[%d,%d)", r.lo, r.hi))
+
+	var solveErr error
+	if solveErr = sub.Validate(); solveErr == nil {
+		workSub := sub.Clone()
+		rl := core.NewResilient(cascade)
+		if _, solveErr = rl.LegalizeContext(ctx, workSub); solveErr == nil {
+			return extractOwned(workSub, idx), false, nil
+		}
+	}
+	if err := mclgerr.FromContext(ctx); err != nil {
+		return nil, false, err
+	}
+
+	cells, err := s.repairRun(ctx, av, p, r, touched)
+	if err != nil {
+		return nil, false, mclgerr.Stage("eco-repair",
+			fmt.Errorf("run rows [%d,%d): cascade failed (%v); local repair failed: %w", r.lo, r.hi, solveErr, err))
+	}
+	return cells, true, nil
+}
+
+// repairRun is the chow-style local repair: every cell the batch did not
+// touch is frozen at its committed position, and only the touched cells are
+// placed — one at a time, nearest free run first — into the gaps.
+func (s *Session) repairRun(ctx context.Context, av *design.Design, p *window.Plan, r run, touched map[int]bool) ([]window.CellPos, error) {
+	sub, idx := p.BuildRun(av, r.bands)
+	for i, fullID := range idx {
+		if fullID < 0 || touched[fullID] {
+			continue
+		}
+		// Committed position: untouched cells in the assignment view carry
+		// X/Y = the committed placement.
+		c := sub.Cells[i]
+		c.X, c.Y = av.Cells[fullID].X, av.Cells[fullID].Y
+		c.GX, c.GY = c.X, c.Y
+		c.Flipped = av.Cells[fullID].Flipped
+		c.Fixed = true
+	}
+	if err := sub.Validate(); err != nil {
+		return nil, err
+	}
+	if err := chow.LegalizeContext(ctx, sub); err != nil {
+		return nil, err
+	}
+	if rep := design.CheckLegal(sub); !rep.Legal() {
+		return nil, &mclgerr.StageError{
+			Stage:  "eco-repair",
+			Err:    mclgerr.ErrUnplacedCells,
+			Detail: "local repair left the run illegal: " + rep.String(),
+		}
+	}
+	out := make([]window.CellPos, 0, len(idx))
+	for i, fullID := range idx {
+		if fullID < 0 {
+			continue
+		}
+		c := sub.Cells[i]
+		out = append(out, window.CellPos{ID: fullID, X: c.X, Y: c.Y, Flipped: c.Flipped})
+	}
+	return out, nil
+}
+
+// extractOwned collects owned-cell positions from a solved run sub-design.
+func extractOwned(sub *design.Design, idx []int) []window.CellPos {
+	out := make([]window.CellPos, 0, len(idx))
+	for i, fullID := range idx {
+		if fullID < 0 {
+			continue
+		}
+		c := sub.Cells[i]
+		out = append(out, window.CellPos{ID: fullID, X: c.X, Y: c.Y, Flipped: c.Flipped})
+	}
+	return out
+}

@@ -80,6 +80,14 @@ type Config struct {
 	// windows instead of re-solving them. The journal is removed when the
 	// job commits.
 	JournalDir string
+	// ECODir, when non-empty, makes /v1/eco sessions durable: each session
+	// appends its delta log write-ahead to ECODir/<id>.ecolog, and a
+	// restarted daemon rebuilds every live session by replaying its log from
+	// the base design stored in the log header. Empty means sessions are
+	// memory-only and die with the process.
+	ECODir string
+	// ECOSessionCap bounds concurrently open /v1/eco sessions; 0 means 8.
+	ECOSessionCap int
 	// Chaos, when non-nil, injects deterministic window-granular faults into
 	// windowed jobs. Test-only.
 	Chaos *faults.WindowChaos
@@ -112,6 +120,9 @@ func (c Config) withDefaults() Config {
 	if c.WindowRows <= 0 {
 		c.WindowRows = window.DefaultWindowRows
 	}
+	if c.ECOSessionCap <= 0 {
+		c.ECOSessionCap = 8
+	}
 	if c.Logger == nil {
 		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
@@ -138,6 +149,7 @@ type Server struct {
 	cfg   Config
 	cache *resultCache
 	warm  *warmStore
+	eco   *ecoRegistry
 	stats *serverStats
 	log   *slog.Logger
 
@@ -165,12 +177,16 @@ func New(cfg Config) *Server {
 		cfg:      cfg,
 		cache:    newResultCache(cfg.CacheCap),
 		warm:     newWarmStore(cfg.WarmCap),
+		eco:      newEcoRegistry(cfg.ECOSessionCap, cfg.ECODir),
 		stats:    newServerStats(),
 		log:      cfg.Logger,
 		queue:    make(chan *job, cfg.QueueCap),
 		baseCtx:  ctx,
 		baseStop: stop,
 		start:    time.Now(),
+	}
+	if cfg.ECODir != "" {
+		s.recoverSessions()
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.workers.Add(1)
@@ -183,6 +199,7 @@ func New(cfg Config) *Server {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/legalize", s.handleLegalize)
+	mux.HandleFunc("POST /v1/eco", s.handleECO)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)

@@ -84,6 +84,12 @@ type serverStats struct {
 	audits sync.Map // result string ("pass" | "fail" | "error") -> *counter
 
 	stages sync.Map // stage string -> *histogram
+
+	// ECO session surface: live session gauge, lifecycle event counters,
+	// and per-apply outcomes by mclgerr class.
+	ecoSessions gauge
+	ecoEvents   sync.Map // event string -> *counter
+	ecoApplies  sync.Map // class string -> *counter
 }
 
 func newServerStats() *serverStats {
@@ -99,10 +105,36 @@ func newServerStats() *serverStats {
 	for _, ev := range windowEvents {
 		s.windows.Store(ev, &counter{})
 	}
-	for _, st := range []string{"parse", "solve", "audit", "total"} {
+	for _, st := range []string{"parse", "solve", "audit", "total", "eco_create", "eco_apply", "eco_commit"} {
 		s.stages.Store(st, newHistogram())
 	}
+	for _, ev := range ecoEventNames {
+		s.ecoEvents.Store(ev, &counter{})
+	}
+	for _, class := range mclgerr.Classes() {
+		s.ecoApplies.Store(class, &counter{})
+	}
 	return s
+}
+
+// ecoEventNames are the pre-registered ECO session lifecycle series.
+var ecoEventNames = []string{
+	"created", "resumed", "deltas", "committed", "commit_failed", "closed",
+}
+
+// ecoEvent bumps one session lifecycle counter by n.
+func (s *serverStats) ecoEvent(event string, n int) {
+	if n <= 0 {
+		return
+	}
+	c, _ := s.ecoEvents.LoadOrStore(event, &counter{})
+	c.(*counter).add(uint64(n))
+}
+
+// ecoApplyDone records one delta-batch apply outcome by mclgerr class.
+func (s *serverStats) ecoApplyDone(class string) {
+	c, _ := s.ecoApplies.LoadOrStore(class, &counter{})
+	c.(*counter).inc()
 }
 
 func (s *serverStats) jobDone(class string) {
@@ -213,6 +245,24 @@ func (s *serverStats) writePrometheus(w io.Writer, cache *resultCache, warm *war
 	for _, ev := range sortedKeys(&s.windows) {
 		c, _ := s.windows.Load(ev)
 		fmt.Fprintf(w, "mclgd_windows_total{event=%q} %d\n", ev, c.(*counter).get())
+	}
+
+	fmt.Fprintf(w, "# HELP mclgd_eco_sessions Live ECO delta sessions.\n")
+	fmt.Fprintf(w, "# TYPE mclgd_eco_sessions gauge\n")
+	fmt.Fprintf(w, "mclgd_eco_sessions %d\n", s.ecoSessions.get())
+
+	fmt.Fprintf(w, "# HELP mclgd_eco_events_total ECO session lifecycle events (created/resumed/closed = sessions; deltas = accepted deltas; committed/commit_failed = replay-certification verdicts).\n")
+	fmt.Fprintf(w, "# TYPE mclgd_eco_events_total counter\n")
+	for _, ev := range sortedKeys(&s.ecoEvents) {
+		c, _ := s.ecoEvents.Load(ev)
+		fmt.Fprintf(w, "mclgd_eco_events_total{event=%q} %d\n", ev, c.(*counter).get())
+	}
+
+	fmt.Fprintf(w, "# HELP mclgd_eco_applies_total Delta-batch applies by mclgerr class (ok = committed checker-verified).\n")
+	fmt.Fprintf(w, "# TYPE mclgd_eco_applies_total counter\n")
+	for _, class := range sortedKeys(&s.ecoApplies) {
+		c, _ := s.ecoApplies.Load(class)
+		fmt.Fprintf(w, "mclgd_eco_applies_total{class=%q} %d\n", class, c.(*counter).get())
 	}
 
 	fmt.Fprintf(w, "# HELP mclgd_jobs_total Terminal jobs by mclgerr class (ok = verified legal).\n")

@@ -1,71 +1,41 @@
 package serve
 
 import (
-	"container/list"
-	"sync"
-
 	"mclg/internal/core"
 )
-
-// warmEntry pairs a topology key with its solver state in the LRU.
-type warmEntry struct {
-	key   string
-	state *core.WarmState
-}
 
 // warmStore keys core.WarmState by topology fingerprint, so a re-submit of a
 // perturbed design — same netlist, same row structure, moved cells — lands on
 // the WarmState primed by the previous solve and is seeded from its solution.
 // It sits beside the exact-match result cache: the result cache answers
 // bit-identical requests without solving at all, the warm store accelerates
-// the near-matches that do have to solve. Eviction is LRU on the topology
-// key; an evicted state is simply garbage-collected (it holds no external
-// resources).
+// the near-matches that do have to solve. Storage and LRU eviction live in
+// core.WarmPool (shared with the ECO session engine, which pools states per
+// dirty-window row range); this wrapper layers the serving metrics on top.
 //
 // Each WarmState serializes the solves that share it (see core.WarmState), so
 // two concurrent jobs on the same topology run one after the other through
 // the warm path; jobs on different topologies are unaffected.
 type warmStore struct {
-	mu      sync.Mutex
-	cap     int
-	ll      *list.List // front = most recently used; values are *warmEntry
-	entries map[string]*list.Element
+	pool *core.WarmPool
 
-	hits, misses, evictions counter // hit = a solve that was warm-seeded
-	iterSaved               counter // cold-baseline iterations minus warm iterations
+	hits, misses counter // hit = a solve that was warm-seeded
+	iterSaved    counter // cold-baseline iterations minus warm iterations
 }
 
 // newWarmStore builds a store holding up to cap warm states; cap <= 0
 // disables warm starting entirely (get returns nil).
 func newWarmStore(cap int) *warmStore {
-	return &warmStore{
-		cap:     cap,
-		ll:      list.New(),
-		entries: make(map[string]*list.Element),
-	}
+	return &warmStore{pool: core.NewWarmPool(cap)}
 }
 
 // get returns the warm state for the topology key, creating (and LRU-bumping)
 // it as needed. A nil return means warm starting is disabled.
 func (w *warmStore) get(key string) *core.WarmState {
-	if w == nil || w.cap <= 0 {
+	if w == nil {
 		return nil
 	}
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	if el, ok := w.entries[key]; ok {
-		w.ll.MoveToFront(el)
-		return el.Value.(*warmEntry).state
-	}
-	st := core.NewWarmState()
-	w.entries[key] = w.ll.PushFront(&warmEntry{key: key, state: st})
-	for w.ll.Len() > w.cap {
-		last := w.ll.Back()
-		w.ll.Remove(last)
-		delete(w.entries, last.Value.(*warmEntry).key)
-		w.evictions.inc()
-	}
-	return st
+	return w.pool.Get(key)
 }
 
 // stats returns the resident state count alongside lifetime counters.
@@ -73,8 +43,5 @@ func (w *warmStore) stats() (entries int, hits, misses, evictions, iterSaved uin
 	if w == nil {
 		return 0, 0, 0, 0, 0
 	}
-	w.mu.Lock()
-	entries = w.ll.Len()
-	w.mu.Unlock()
-	return entries, w.hits.get(), w.misses.get(), w.evictions.get(), w.iterSaved.get()
+	return w.pool.Len(), w.hits.get(), w.misses.get(), w.pool.Evictions(), w.iterSaved.get()
 }

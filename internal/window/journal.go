@@ -28,10 +28,15 @@ type Journal interface {
 // the plan (design geometry + global positions + window/solver parameters):
 // records are replayed only under an identical signature, so a changed
 // input or configuration silently invalidates the journal instead of
-// resurrecting stale placements.
+// resurrecting stale placements. Tag carries an optional caller scope — an
+// ECO session stores its delta-log digest and batch sequence here, so a
+// journal written while applying one delta batch never resumes into the
+// re-solve of a different batch even when the design geometry (and hence
+// Sig) happens to match.
 type journalHeader struct {
 	V       int    `json:"v"`
 	Sig     string `json:"sig"`
+	Tag     string `json:"tag,omitempty"`
 	Windows int    `json:"windows"`
 }
 
@@ -87,11 +92,20 @@ type FileJournal struct {
 // torn, or mismatching file is reset to a fresh header — resuming is an
 // optimization, never a correctness risk.
 func OpenFileJournal(path string, sig uint64, windows int) (*FileJournal, error) {
+	return OpenFileJournalTagged(path, sig, "", windows)
+}
+
+// OpenFileJournalTagged is OpenFileJournal with a caller-scoped header tag:
+// records resume only when the on-disk tag matches tag exactly, on top of
+// the signature and window-count checks. ECO sessions use the tag to bind a
+// dirty-window journal to one delta batch of one session log (see
+// journalHeader).
+func OpenFileJournalTagged(path string, sig uint64, tag string, windows int) (*FileJournal, error) {
 	j := &FileJournal{path: path, completed: map[int][]CellPos{}}
 	wantSig := fmt.Sprintf("%016x", sig)
 
 	if data, err := os.ReadFile(path); err == nil {
-		j.load(data, wantSig, windows)
+		j.load(data, wantSig, tag, windows)
 	}
 	j.resumed = len(j.completed)
 
@@ -105,7 +119,7 @@ func OpenFileJournal(path string, sig uint64, windows int) (*FileJournal, error)
 			f.Close()
 			return nil, mclgerr.Stage("journal", err)
 		}
-		hdr, _ := json.Marshal(journalHeader{V: 1, Sig: wantSig, Windows: windows})
+		hdr, _ := json.Marshal(journalHeader{V: 1, Sig: wantSig, Tag: tag, Windows: windows})
 		if _, err := f.Write(append(hdr, '\n')); err != nil {
 			f.Close()
 			return nil, mclgerr.Stage("journal", err)
@@ -119,7 +133,7 @@ func OpenFileJournal(path string, sig uint64, windows int) (*FileJournal, error)
 		// the intact length rather than seeking to EOF so a torn tail is
 		// overwritten, not extended.
 		data, _ := os.ReadFile(path)
-		n := intactLen(data, wantSig, windows)
+		n := intactLen(data, wantSig, tag, windows)
 		if err := f.Truncate(int64(n)); err != nil {
 			f.Close()
 			return nil, mclgerr.Stage("journal", err)
@@ -135,7 +149,7 @@ func OpenFileJournal(path string, sig uint64, windows int) (*FileJournal, error)
 
 // load parses the journal bytes, keeping records up to the first torn or
 // invalid line. A header mismatch discards everything.
-func (j *FileJournal) load(data []byte, wantSig string, windows int) {
+func (j *FileJournal) load(data []byte, wantSig, wantTag string, windows int) {
 	sc := bufio.NewScanner(bytes.NewReader(data))
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
 	if !sc.Scan() {
@@ -143,7 +157,7 @@ func (j *FileJournal) load(data []byte, wantSig string, windows int) {
 	}
 	var hdr journalHeader
 	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil ||
-		hdr.V != 1 || hdr.Sig != wantSig || hdr.Windows != windows {
+		hdr.V != 1 || hdr.Sig != wantSig || hdr.Tag != wantTag || hdr.Windows != windows {
 		return
 	}
 	for sc.Scan() {
@@ -160,7 +174,7 @@ func (j *FileJournal) load(data []byte, wantSig string, windows int) {
 
 // intactLen returns the byte length of the header plus every intact record,
 // i.e. the offset appends must resume from.
-func intactLen(data []byte, wantSig string, windows int) int {
+func intactLen(data []byte, wantSig, wantTag string, windows int) int {
 	n := 0
 	line := 0
 	start := 0
@@ -174,7 +188,7 @@ func intactLen(data []byte, wantSig string, windows int) int {
 			if line == 0 {
 				var hdr journalHeader
 				ok = json.Unmarshal(chunk, &hdr) == nil &&
-					hdr.V == 1 && hdr.Sig == wantSig && hdr.Windows == windows
+					hdr.V == 1 && hdr.Sig == wantSig && hdr.Tag == wantTag && hdr.Windows == windows
 			} else {
 				var rec journalRecord
 				ok = json.Unmarshal(chunk, &rec) == nil &&

@@ -171,6 +171,60 @@ func TestJournalSigMismatch(t *testing.T) {
 	}
 }
 
+// TestJournalTaggedResume pins the header-tag contract OpenFileJournalTagged
+// adds for delta-log-scoped journals (the ECO path tags each re-solve with
+// the delta batch it serves): a journal resumes only under the exact tag it
+// was written with — a different tag, or the untagged open, resets it.
+func TestJournalTaggedResume(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tagged.wal")
+	j, err := OpenFileJournalTagged(path, 7, "eco:3f9a.b4", 2)
+	if err != nil {
+		t.Fatalf("OpenFileJournalTagged: %v", err)
+	}
+	cells := []CellPos{{ID: 2, X: 10, Y: 20}}
+	if err := j.Record(0, cells); err != nil {
+		t.Fatalf("Record: %v", err)
+	}
+	j.Close()
+
+	// Same tag: the record replays.
+	j2, err := OpenFileJournalTagged(path, 7, "eco:3f9a.b4", 2)
+	if err != nil {
+		t.Fatalf("reopen same tag: %v", err)
+	}
+	if j2.Resumed() != 1 {
+		t.Fatalf("Resumed() = %d under matching tag, want 1", j2.Resumed())
+	}
+	if got, ok := j2.Lookup(0); !ok || len(got) != 1 || got[0] != cells[0] {
+		t.Fatalf("Lookup(0) = %v, %v; want %v", got, ok, cells)
+	}
+	j2.Close()
+
+	// A different tag — e.g. the journal belongs to another delta batch —
+	// invalidates the file even though sig and window count match.
+	j3, err := OpenFileJournalTagged(path, 7, "eco:3f9a.b5", 2)
+	if err != nil {
+		t.Fatalf("reopen new tag: %v", err)
+	}
+	if j3.Resumed() != 0 {
+		t.Fatalf("Resumed() = %d under a different tag, want 0", j3.Resumed())
+	}
+	if err := j3.Record(1, cells); err != nil {
+		t.Fatalf("Record under new tag: %v", err)
+	}
+	j3.Close()
+
+	// The untagged open must not resurrect a tagged journal either.
+	j4, err := OpenFileJournal(path, 7, 2)
+	if err != nil {
+		t.Fatalf("untagged reopen: %v", err)
+	}
+	defer j4.Close()
+	if j4.Resumed() != 0 {
+		t.Fatalf("Resumed() = %d from untagged open of tagged journal, want 0", j4.Resumed())
+	}
+}
+
 // TestSigSensitivity pins what the content address covers: geometry, global
 // positions, and the window/solver parameters.
 func TestSigSensitivity(t *testing.T) {

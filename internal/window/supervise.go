@@ -121,7 +121,7 @@ type windowState struct {
 	committed *Result
 	started   bool
 	hedged    bool
-	hedgeDone chan struct{}      // closed when the hedge attempt finishes
+	hedgeDone chan struct{} // closed when the hedge attempt finishes
 	cancels   []context.CancelFunc
 }
 

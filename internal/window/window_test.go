@@ -311,3 +311,52 @@ func TestHedgeWinsOverStalledPrimary(t *testing.T) {
 	}
 	check()
 }
+
+// TestHedgeCancelsStalledLoser pins loser cancellation: when the hedge wins,
+// the commit path must cancel the stalled primary attempt immediately — not
+// leave it burning its per-attempt deadline. The window timeout here is far
+// beyond what the test tolerates, so the run can only finish on time if the
+// commit-side cancel (not the deadline) unblocks the stalled loser; the leak
+// check then proves the loser's goroutine fully exited.
+func TestHedgeCancelsStalledLoser(t *testing.T) {
+	check := leakCheck(t)
+	clean := genDesign(t, "fft_2", 0.004)
+	if _, err := Legalize(context.Background(), clean, baseOptions(2)); err != nil {
+		t.Fatalf("fault-free run: %v", err)
+	}
+	wantHash := regress.PositionHash(clean)
+
+	d := genDesign(t, "fft_2", 0.004)
+	p, err := Partition(d, 4, 2)
+	if err != nil {
+		t.Fatalf("Partition: %v", err)
+	}
+	template := chaosSpec{StallFrac: 0.2, MaxAttempt: 64}
+	seed := chaosSeed(t, template, len(p.Bands), 1)
+
+	opts := baseOptions(4)
+	opts.Chaos = template.with(seed)
+	opts.WindowTimeout = 10 * time.Minute // the deadline must never be the unblocker
+	opts.MaxRetries = -1
+	opts.HedgeQuantile = 0.5
+	t0 := time.Now()
+	st, err := Legalize(context.Background(), d, opts)
+	if err != nil {
+		t.Fatalf("Legalize: %v", err)
+	}
+	elapsed := time.Since(t0)
+	if st.HedgesWon == 0 {
+		t.Fatalf("expected a winning hedge, stats %+v", st)
+	}
+	if elapsed > 30*time.Second {
+		t.Fatalf("stalled loser not canceled at commit: run took %v with a %v window timeout",
+			elapsed, opts.WindowTimeout)
+	}
+	if rep := design.CheckLegal(d); !rep.Legal() {
+		t.Fatalf("placement illegal: %s", rep.String())
+	}
+	if h := regress.PositionHash(d); h != wantHash {
+		t.Fatalf("hash %s != fault-free hash %s", h, wantHash)
+	}
+	check()
+}
