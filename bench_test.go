@@ -14,12 +14,14 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"net/http/httptest"
 	"testing"
 	"time"
 
 	"mclg/internal/abacus"
 	"mclg/internal/baselines/chow"
 	"mclg/internal/baselines/wang"
+	"mclg/internal/cluster"
 	"mclg/internal/core"
 	"mclg/internal/dense"
 	"mclg/internal/design"
@@ -34,6 +36,7 @@ import (
 	"mclg/internal/render"
 	"mclg/internal/sparse"
 	"mclg/internal/tetris"
+	"mclg/internal/window"
 )
 
 const benchScale = 0.01
@@ -721,4 +724,49 @@ func BenchmarkECOApply(b *testing.B) {
 	b.StopTimer()
 	b.ReportMetric(coldNS, "cold-ns")
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/coldNS, "eco-vs-cold")
+}
+
+// BenchmarkClusterDispatch measures the coordinator's routing overhead for a
+// windowed job shipped over the shard protocol. The workers' shard caches
+// are warmed first, so each iteration pays ring lookup, HTTP round-trip, and
+// wire decode per window — not the solves themselves. A fresh coordinator
+// per iteration keeps its local result cache cold; the reported
+// window-dispatch-ns metric is the per-window cost of remote routing.
+func BenchmarkClusterDispatch(b *testing.B) {
+	base := genBench(b, "fft_2", 0.004)
+	opts := window.Options{
+		Cascade:       core.ResilientOptions{Base: core.Options{Workers: 1}},
+		WindowRows:    4,
+		ContextRows:   2,
+		WindowTimeout: 2 * time.Minute,
+	}
+
+	var addrs []string
+	for i := 0; i < 2; i++ {
+		wk := cluster.NewWorker(cluster.WorkerConfig{Solves: 2})
+		srv := httptest.NewServer(wk.Handler())
+		defer srv.Close()
+		addrs = append(addrs, srv.URL)
+	}
+
+	// Warm the worker caches so iterations measure dispatch, not solving.
+	warm := cluster.NewCoordinator(cluster.CoordinatorConfig{Peers: addrs})
+	st, err := warm.DispatchWindows(context.Background(), base.Clone(), opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if st.Windows == 0 {
+		b.Fatal("no windows to dispatch")
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		coord := cluster.NewCoordinator(cluster.CoordinatorConfig{Peers: addrs})
+		if _, err := coord.DispatchWindows(context.Background(), base.Clone(), opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(st.Windows), "window-dispatch-ns")
 }

@@ -5,8 +5,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -15,11 +17,20 @@ import (
 	"mclg/internal/serve/report"
 )
 
+// maxRetryWait caps how long a single Retry-After hint can park the client;
+// a daemon advertising a longer wait is treated as too busy to wait out.
+const maxRetryWait = 60 * time.Second
+
 // submitRemote sends the run described by the CLI flags to an mclgd daemon
 // instead of solving locally, and returns the daemon's report. For -aux
 // inputs the Bookshelf component files are inlined into the request body,
 // so the daemon needs no filesystem access to the design.
-func submitRemote(serverURL string, req *serve.Request, timeout time.Duration) (*report.Report, error) {
+//
+// A 429 (queue full or tenant rate-limited) is retried up to retries times,
+// honoring the daemon's Retry-After hint plus up to 25% jitter so a herd of
+// refused clients does not re-stampede in lockstep. Any other status is
+// terminal: the daemon's error classes are not transient.
+func submitRemote(serverURL string, req *serve.Request, timeout time.Duration, retries int) (*report.Report, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return nil, err
@@ -31,30 +42,52 @@ func submitRemote(serverURL string, req *serve.Request, timeout time.Duration) (
 		client.Timeout = timeout + 10*time.Second
 	}
 	url := strings.TrimSuffix(serverURL, "/") + "/v1/legalize"
-	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	raw, err := io.ReadAll(io.LimitReader(resp.Body, 256<<20))
-	if err != nil {
-		return nil, err
-	}
-	if resp.StatusCode != http.StatusOK {
-		var eb struct {
-			Error string `json:"error"`
-			Class string `json:"class"`
+	for attempt := 0; ; attempt++ {
+		resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
 		}
-		if json.Unmarshal(raw, &eb) == nil && eb.Error != "" {
-			return nil, fmt.Errorf("server: %s (%s, HTTP %d)", eb.Error, eb.Class, resp.StatusCode)
+		raw, err := io.ReadAll(io.LimitReader(resp.Body, 256<<20))
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
 		}
-		return nil, fmt.Errorf("server: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(raw)))
+		if resp.StatusCode == http.StatusTooManyRequests && attempt < retries {
+			wait := retryWait(resp.Header.Get("Retry-After"), attempt)
+			fmt.Fprintf(os.Stderr, "mclg: server busy (HTTP 429), retry %d/%d in %s\n",
+				attempt+1, retries, wait.Round(time.Millisecond))
+			time.Sleep(wait)
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			var eb struct {
+				Error string `json:"error"`
+				Class string `json:"class"`
+			}
+			if json.Unmarshal(raw, &eb) == nil && eb.Error != "" {
+				return nil, fmt.Errorf("server: %s (%s, HTTP %d)", eb.Error, eb.Class, resp.StatusCode)
+			}
+			return nil, fmt.Errorf("server: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(raw)))
+		}
+		rep := &report.Report{}
+		if err := json.Unmarshal(raw, rep); err != nil {
+			return nil, fmt.Errorf("server: unparsable response: %w", err)
+		}
+		return rep, nil
 	}
-	rep := &report.Report{}
-	if err := json.Unmarshal(raw, rep); err != nil {
-		return nil, fmt.Errorf("server: unparsable response: %w", err)
+}
+
+// retryWait turns a Retry-After header into a bounded, jittered sleep. A
+// missing or malformed hint falls back to exponential backoff from 1s.
+func retryWait(header string, attempt int) time.Duration {
+	base := time.Second << min(attempt, 5)
+	if secs, err := strconv.Atoi(strings.TrimSpace(header)); err == nil && secs > 0 {
+		base = time.Duration(secs) * time.Second
 	}
-	return rep, nil
+	if base > maxRetryWait {
+		base = maxRetryWait
+	}
+	return base + time.Duration(rand.Int64N(int64(base)/4+1))
 }
 
 // remoteRequest translates the CLI flags into a serve.Request. aux designs

@@ -1,0 +1,33 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRetryWaitHonorsRetryAfter pins the 429 backoff contract: the daemon's
+// Retry-After hint is the base wait, jitter adds at most 25%, a malformed or
+// missing hint falls back to exponential backoff from 1s, and no single wait
+// exceeds the cap.
+func TestRetryWaitHonorsRetryAfter(t *testing.T) {
+	inRange := func(name string, got, lo, hi time.Duration) {
+		t.Helper()
+		if got < lo || got > hi {
+			t.Errorf("%s: wait %v outside [%v, %v]", name, got, lo, hi)
+		}
+	}
+	for i := 0; i < 50; i++ { // jitter is random; the bounds must always hold
+		inRange("Retry-After: 3", retryWait("3", 0), 3*time.Second, 3*time.Second+750*time.Millisecond)
+		inRange("Retry-After: 3 (late attempt)", retryWait(" 3 ", 4), 3*time.Second, 3*time.Second+750*time.Millisecond)
+
+		// Missing / malformed / non-positive hints: exponential from 1s.
+		inRange("no header, attempt 0", retryWait("", 0), time.Second, time.Second+250*time.Millisecond)
+		inRange("no header, attempt 2", retryWait("", 2), 4*time.Second, 5*time.Second)
+		inRange("malformed", retryWait("soon", 0), time.Second, time.Second+250*time.Millisecond)
+		inRange("zero", retryWait("0", 1), 2*time.Second, 2500*time.Millisecond)
+
+		// An absurd hint (or deep exponential backoff) is capped.
+		inRange("huge hint", retryWait("86400", 0), maxRetryWait, maxRetryWait+maxRetryWait/4)
+		inRange("deep backoff", retryWait("", 30), 32*time.Second, 40*time.Second)
+	}
+}

@@ -65,6 +65,7 @@ func main() {
 		resilient  = flag.Bool("resilient", false, "with -method ours: run the fallback cascade (mmsim -> retuned -> pgs -> greedy)")
 		workers    = flag.Int("workers", 0, "worker goroutines for the hot stages: 0 = all cores, 1 = serial (any value gives identical output)")
 		serverURL  = flag.String("server", "", "submit the job to a running mclgd at this base URL instead of solving locally")
+		retryN     = flag.Int("retry", 0, "with -server: retry a 429 (queue full / rate-limited) up to N times, honoring the daemon's Retry-After hint with jitter")
 		jsonOut    = flag.Bool("json", false, "emit the machine-readable run report (mclgd schema) on stdout")
 		auditRun   = flag.Bool("audit", false, "audit the result: re-run the pipeline independently, recompute optimality residuals, cross-check against a reference solve, and print the sealed certificate (exit 1 unless it passes)")
 		windowsOn  = flag.Bool("windows", false, "fault-isolated windowed legalization: solve per-row-band windows under supervision (retry, hedging, degradation) and stitch deterministically (method ours only)")
@@ -102,8 +103,11 @@ func main() {
 				Lambda: *lambda, Beta: *beta, Theta: *theta, Eps: *eps,
 				AutoTheta: *autoTheta, BoundRight: *boundRight, Workers: *workers,
 			}, *windowsOn, *windowRows, *hedge,
-			*timeout, *outPath, *jsonOut, *runGP || *checkOnly || *refineObj != "")
+			*timeout, *retryN, *outPath, *jsonOut, *runGP || *checkOnly || *refineObj != "")
 		return
+	}
+	if *retryN != 0 {
+		fatal(fmt.Errorf("-retry requires -server"))
 	}
 
 	// SIGINT/SIGTERM and -timeout cancel the same context; every solver
@@ -317,9 +321,12 @@ func main() {
 // returned placement back as Bookshelf.
 func runRemote(serverURL, auxPath, bench string, scale float64, method string, resilient, auditRun bool,
 	opts serve.OptionsJSON, windows bool, windowRows int, hedge float64,
-	timeout time.Duration, outPath string, jsonOut, localOnlyFlags bool) {
+	timeout time.Duration, retries int, outPath string, jsonOut, localOnlyFlags bool) {
 	if localOnlyFlags {
 		fatal(fmt.Errorf("-gp, -check and -refine run locally and cannot be combined with -server"))
+	}
+	if retries < 0 {
+		fatal(fmt.Errorf("-retry %d must be non-negative", retries))
 	}
 	req, err := remoteRequest(auxPath, bench, scale, method, resilient, auditRun, opts, timeout, outPath != "")
 	if err == nil && windows {
@@ -328,7 +335,7 @@ func runRemote(serverURL, auxPath, bench string, scale float64, method string, r
 	if err != nil {
 		fatal(err)
 	}
-	rep, err := submitRemote(serverURL, req, timeout)
+	rep, err := submitRemote(serverURL, req, timeout, retries)
 	if err != nil {
 		fatal(err)
 	}

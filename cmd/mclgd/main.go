@@ -6,7 +6,16 @@
 //	curl -s localhost:8080/v1/legalize -d '{"bench":"fft_2","scale":0.004}'
 //	curl -s localhost:8080/metrics
 //
-// See docs/serving.md for the full API and lifecycle contract.
+// With -role it also runs as one node of a multi-node cluster: a
+// coordinator accepts the same /v1 API and ships window solves to worker
+// daemons over the shard protocol, a worker serves shard solves and hosted
+// ECO sessions.
+//
+//	mclgd -role worker -addr :8081
+//	mclgd -role coordinator -addr :8080 -peers http://localhost:8081 -windows
+//
+// See docs/serving.md for the single-node API and docs/cluster.md for the
+// cluster topology, shard protocol, and failure matrix.
 package main
 
 import (
@@ -14,21 +23,27 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log/slog"
 	"net"
 	"net/http"
 	_ "net/http/pprof" // handlers served only behind the -pprof flag
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"mclg/internal/cluster"
 	"mclg/internal/serve"
 )
 
 func main() {
 	var (
 		addr         = flag.String("addr", ":8080", "listen address")
+		role         = flag.String("role", "standalone", "node role: standalone | coordinator | worker")
+		peers        = flag.String("peers", "", "comma-separated worker base URLs (coordinator role), e.g. http://h1:8081,http://h2:8081")
+		tenantLimits = flag.String("tenant-limits", "", "per-tenant admission rate limits, tenant=rate/burst[,...]; \"*\" is the default tenant (empty = unlimited)")
 		pool         = flag.Int("pool", 2, "worker pool size (concurrent solves)")
 		queueCap     = flag.Int("queue", 8, "job queue capacity (admissions past it get 429)")
 		cacheCap     = flag.Int("cache", 128, "result cache capacity in entries (negative disables)")
@@ -48,7 +63,24 @@ func main() {
 	flag.Parse()
 
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
-	srv := serve.New(serve.Config{
+
+	limits, err := cluster.ParseTenantLimits(*tenantLimits)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mclgd:", err)
+		os.Exit(2)
+	}
+
+	switch *role {
+	case "worker":
+		runWorker(logger, *addr, *pool, *ecoDir, *ecoSessions, *drainTimeout)
+		return
+	case "standalone", "coordinator":
+	default:
+		fmt.Fprintf(os.Stderr, "mclgd: unknown -role %q (want standalone, coordinator, or worker)\n", *role)
+		os.Exit(2)
+	}
+
+	cfg := serve.Config{
 		Workers:           *pool,
 		QueueCap:          *queueCap,
 		CacheCap:          *cacheCap,
@@ -63,7 +95,42 @@ func main() {
 		ECODir:            *ecoDir,
 		ECOSessionCap:     *ecoSessions,
 		Logger:            logger,
-	})
+	}
+
+	var extra []func(w io.Writer)
+	if len(limits) > 0 {
+		gate := cluster.NewTenantGate(limits)
+		cfg.Gate = gate
+		extra = append(extra, gate.WritePrometheus)
+		logger.Info("tenant gate enabled", "limits", cluster.FormatTenantLimits(limits))
+	}
+	if *role == "coordinator" {
+		var workerAddrs []string
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				workerAddrs = append(workerAddrs, p)
+			}
+		}
+		coord := cluster.NewCoordinator(cluster.CoordinatorConfig{
+			Peers:  workerAddrs,
+			Logger: logger,
+		})
+		cfg.Dispatcher = coord
+		extra = append(extra, coord.Metrics().WritePrometheus)
+		pctx, pcancel := context.WithTimeout(context.Background(), 5*time.Second)
+		coord.CheckPeers(pctx)
+		pcancel()
+		logger.Info("coordinator role", "peers", workerAddrs)
+	}
+	if len(extra) > 0 {
+		cfg.ExtraMetrics = func(w io.Writer) {
+			for _, f := range extra {
+				f(w)
+			}
+		}
+	}
+
+	srv := serve.New(cfg)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -82,7 +149,7 @@ func main() {
 		logger.Info("pprof enabled", "path", "/debug/pprof/")
 	}
 	httpSrv := &http.Server{Handler: handler}
-	logger.Info("mclgd listening", "addr", ln.Addr().String(),
+	logger.Info("mclgd listening", "addr", ln.Addr().String(), "role", *role,
 		"pool", *pool, "queue", *queueCap, "cache", *cacheCap, "warm", *warmCap,
 		"audit", *auditAll, "windows", *windowsAll, "journal_dir", *journalDir,
 		"eco_dir", *ecoDir, "eco_sessions", *ecoSessions)
@@ -117,4 +184,57 @@ func main() {
 		logger.Warn("http shutdown", "err", err.Error())
 	}
 	logger.Info("mclgd stopped")
+}
+
+// runWorker serves the shard protocol: remote window solves and hosted ECO
+// sessions. On SIGTERM the worker flips /readyz to 503 (so coordinators stop
+// routing to it), finishes in-flight shard jobs within the grace period, and
+// exits; hosted sessions are migrated by the coordinator's drain call before
+// the signal in an orchestrated drain, or resumed from durable logs after.
+func runWorker(logger *slog.Logger, addr string, pool int, ecoDir string, ecoSessions int, drainTimeout time.Duration) {
+	wk := cluster.NewWorker(cluster.WorkerConfig{
+		ID:         addr,
+		Solves:     pool,
+		ECODir:     ecoDir,
+		SessionCap: ecoSessions,
+		Logger:     logger,
+	})
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mclgd:", err)
+		os.Exit(2)
+	}
+	httpSrv := &http.Server{Handler: wk.Handler()}
+	logger.Info("mclgd worker listening", "addr", ln.Addr().String(),
+		"pool", pool, "eco_dir", ecoDir, "eco_sessions", ecoSessions)
+
+	errCh := make(chan error, 1)
+	go func() {
+		if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+		}
+	}()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		logger.Info("worker draining", "signal", sig.String(), "grace", drainTimeout.String())
+	case err := <-errCh:
+		fmt.Fprintln(os.Stderr, "mclgd:", err)
+		os.Exit(2)
+	}
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := wk.Drain(drainCtx); err != nil {
+		logger.Warn("worker drain timed out with shard jobs in flight", "err", err.Error())
+	}
+	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		logger.Warn("http shutdown", "err", err.Error())
+	}
+	logger.Info("mclgd worker stopped")
 }

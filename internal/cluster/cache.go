@@ -1,0 +1,78 @@
+package cluster
+
+import (
+	"container/list"
+	"sync"
+
+	"mclg/internal/window"
+)
+
+// windowCache is the shared content-addressed window-result cache: an LRU
+// keyed by WindowKey. The coordinator consults it before dispatching a
+// window, and each worker keeps its own so repeat windows (identical jobs,
+// retries from another coordinator, hedges) are served without solving.
+// Because a window's result is a pure function of its key, a cache hit is
+// always bit-identical to a fresh solve — caching is invisible to the
+// placement.
+type windowCache struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recent
+	m   map[string]*list.Element
+
+	hits, misses, evictions counter
+}
+
+type cacheEntry struct {
+	key   string
+	cells []window.CellPos
+}
+
+// newWindowCache builds a cache bounded to capacity entries; capacity <= 0
+// disables caching (every lookup misses).
+func newWindowCache(capacity int) *windowCache {
+	return &windowCache{cap: capacity, ll: list.New(), m: make(map[string]*list.Element)}
+}
+
+// get returns the cached cells for key, if present.
+func (c *windowCache) get(key string) ([]window.CellPos, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		c.misses.inc()
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits.inc()
+	return el.Value.(*cacheEntry).cells, true
+}
+
+// put stores the cells for key. Degraded results must not be cached by the
+// caller: a degraded window is a per-run fallback, not the window's answer.
+func (c *windowCache) put(key string, cells []window.CellPos) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).cells = cells
+		return
+	}
+	c.m[key] = c.ll.PushFront(&cacheEntry{key: key, cells: cells})
+	for c.ll.Len() > c.cap {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.m, last.Value.(*cacheEntry).key)
+		c.evictions.inc()
+	}
+}
+
+// len reports the current entry count.
+func (c *windowCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,169 @@
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// DefaultVNodes is the per-worker virtual-node count. Rendezvous hashing is
+// already minimally disruptive (removing a worker remaps only that worker's
+// share); virtual nodes smooth the per-worker load split when the worker
+// count is small, at the cost of vnodes extra hashes per score.
+const DefaultVNodes = 32
+
+// Ring routes window keys to workers with rendezvous (highest-random-weight)
+// hashing over virtual nodes: a worker's score for a key is the maximum
+// FNV-64a hash over its vnode labels joined with the key, and the owner
+// preference list is all workers sorted by descending score. The properties
+// the cluster leans on:
+//
+//   - Deterministic: every coordinator with the same member list computes the
+//     same preference list for a key, with no shared state.
+//   - Minimally disruptive: adding or removing a worker changes the top
+//     owner only for keys that worker wins — the expected ~1/N share — so a
+//     membership change never reshuffles the cache or in-flight routing for
+//     everyone else.
+//   - Natural failover: the preference list is a ready-made retry order; a
+//     failed attempt just advances to the next-ranked worker.
+type Ring struct {
+	mu     sync.RWMutex
+	nodes  []string
+	vnodes int
+}
+
+// NewRing builds a ring over the given workers; vnodes <= 0 takes
+// DefaultVNodes. Node order is irrelevant (scores are, not positions).
+func NewRing(nodes []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	r := &Ring{vnodes: vnodes}
+	r.SetNodes(nodes)
+	return r
+}
+
+// SetNodes replaces the membership. Duplicates are dropped.
+func (r *Ring) SetNodes(nodes []string) {
+	seen := make(map[string]bool, len(nodes))
+	uniq := make([]string, 0, len(nodes))
+	for _, n := range nodes {
+		if n != "" && !seen[n] {
+			seen[n] = true
+			uniq = append(uniq, n)
+		}
+	}
+	sort.Strings(uniq)
+	r.mu.Lock()
+	r.nodes = uniq
+	r.mu.Unlock()
+}
+
+// Add inserts a worker (no-op if present).
+func (r *Ring) Add(node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, n := range r.nodes {
+		if n == node {
+			return
+		}
+	}
+	r.nodes = append(r.nodes, node)
+	sort.Strings(r.nodes)
+}
+
+// Remove deletes a worker (no-op if absent).
+func (r *Ring) Remove(node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i, n := range r.nodes {
+		if n == node {
+			r.nodes = append(r.nodes[:i], r.nodes[i+1:]...)
+			return
+		}
+	}
+}
+
+// Nodes returns the current membership, sorted.
+func (r *Ring) Nodes() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]string(nil), r.nodes...)
+}
+
+// mix64 is a finalizing avalanche pass (the murmur3/splitmix constants). FNV
+// alone is unusable here: a trailing-byte difference perturbs the sum by at
+// most ~2^48, far less than the typical gap between two workers' max-of-vnode
+// scores, so keys sharing a long prefix — exactly the shape of WindowKey —
+// would all route to the same worker.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// score is one worker's rendezvous weight for a key: the max finalized hash
+// over its virtual nodes. FNV-64a over "node#vnode|key" then mix64 — stable
+// across processes and Go versions, which rendezvous routing requires
+// (unlike maphash).
+func (r *Ring) score(node, key string) uint64 {
+	var best uint64
+	for v := 0; v < r.vnodes; v++ {
+		h := fnv.New64a()
+		h.Write([]byte(node))
+		h.Write([]byte{'#'})
+		h.Write([]byte(strconv.Itoa(v)))
+		h.Write([]byte{'|'})
+		h.Write([]byte(key))
+		if s := mix64(h.Sum64()); s > best {
+			best = s
+		}
+	}
+	return best
+}
+
+// Owners returns every worker ranked by descending rendezvous score for the
+// key (score ties break on the node name, so the order is total). Index 0 is
+// the primary owner; the rest is the failover/hedge order.
+func (r *Ring) Owners(key string) []string {
+	r.mu.RLock()
+	nodes := append([]string(nil), r.nodes...)
+	vnodes := r.vnodes
+	r.mu.RUnlock()
+	if len(nodes) == 0 {
+		return nil
+	}
+	rr := &Ring{vnodes: vnodes}
+	type scored struct {
+		node  string
+		score uint64
+	}
+	ss := make([]scored, len(nodes))
+	for i, n := range nodes {
+		ss[i] = scored{node: n, score: rr.score(n, key)}
+	}
+	sort.Slice(ss, func(i, j int) bool {
+		if ss[i].score != ss[j].score {
+			return ss[i].score > ss[j].score
+		}
+		return ss[i].node < ss[j].node
+	})
+	out := make([]string, len(ss))
+	for i, s := range ss {
+		out[i] = s.node
+	}
+	return out
+}
+
+// Owner returns the primary owner for a key, or "" on an empty ring.
+func (r *Ring) Owner(key string) string {
+	owners := r.Owners(key)
+	if len(owners) == 0 {
+		return ""
+	}
+	return owners[0]
+}

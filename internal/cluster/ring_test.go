@@ -1,0 +1,151 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// testKeys generates a deterministic spread of window-style keys.
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = WindowKey(uint64(i)*0x9e3779b97f4a7c15+7, i%40)
+	}
+	return keys
+}
+
+func TestRingDeterministicAcrossInstances(t *testing.T) {
+	nodes := []string{"http://w1:9", "http://w2:9", "http://w3:9"}
+	a := NewRing(nodes, 0)
+	b := NewRing([]string{"http://w3:9", "http://w1:9", "http://w2:9"}, 0) // order must not matter
+	for _, key := range testKeys(200) {
+		ao, bo := a.Owners(key), b.Owners(key)
+		if len(ao) != len(nodes) {
+			t.Fatalf("Owners(%s) returned %d entries, want %d", key, len(ao), len(nodes))
+		}
+		seen := map[string]bool{}
+		for i := range ao {
+			if ao[i] != bo[i] {
+				t.Fatalf("key %s: rings disagree: %v vs %v", key, ao, bo)
+			}
+			seen[ao[i]] = true
+		}
+		if len(seen) != len(nodes) {
+			t.Fatalf("key %s: preference list %v is not a permutation of the membership", key, ao)
+		}
+	}
+}
+
+// TestRingRemoveMovesOnlyOwnedShare pins the minimal-disruption property the
+// cluster leans on: deleting a worker remaps exactly the keys it owned —
+// every other key keeps its primary, so caches and in-flight routing for the
+// surviving workers are untouched.
+func TestRingRemoveMovesOnlyOwnedShare(t *testing.T) {
+	nodes := []string{"http://w1:9", "http://w2:9", "http://w3:9", "http://w4:9"}
+	r := NewRing(nodes, 0)
+	keys := testKeys(2000)
+
+	before := make(map[string]string, len(keys))
+	ownedByVictim := 0
+	victim := nodes[1]
+	for _, k := range keys {
+		before[k] = r.Owner(k)
+		if before[k] == victim {
+			ownedByVictim++
+		}
+	}
+	// Rendezvous hashing should split load roughly evenly: the victim's
+	// share of 2000 keys over 4 workers must be in the 1/N ballpark.
+	if lo, hi := len(keys)/8, len(keys)/2; ownedByVictim < lo || ownedByVictim > hi {
+		t.Fatalf("victim owns %d of %d keys; want a roughly fair 1/4 share", ownedByVictim, len(keys))
+	}
+
+	r.Remove(victim)
+	moved := 0
+	for _, k := range keys {
+		after := r.Owner(k)
+		if before[k] == victim {
+			if after == victim {
+				t.Fatalf("key %s still routed to removed worker", k)
+			}
+			moved++
+			continue
+		}
+		if after != before[k] {
+			t.Fatalf("key %s moved from %s to %s although its owner survived", k, before[k], after)
+		}
+	}
+	if moved != ownedByVictim {
+		t.Fatalf("%d keys moved, want exactly the victim's %d", moved, ownedByVictim)
+	}
+}
+
+// TestRingAddMovesOnlyNewShare is the mirror property: a new worker takes
+// over only the keys it now wins (~1/(N+1)), and every moved key lands on it.
+func TestRingAddMovesOnlyNewShare(t *testing.T) {
+	nodes := []string{"http://w1:9", "http://w2:9", "http://w3:9", "http://w4:9"}
+	r := NewRing(nodes, 0)
+	keys := testKeys(2000)
+	before := make(map[string]string, len(keys))
+	for _, k := range keys {
+		before[k] = r.Owner(k)
+	}
+
+	newcomer := "http://w5:9"
+	r.Add(newcomer)
+	moved := 0
+	for _, k := range keys {
+		after := r.Owner(k)
+		if after != before[k] {
+			if after != newcomer {
+				t.Fatalf("key %s moved to %s, not the new worker", k, after)
+			}
+			moved++
+		}
+	}
+	// Expect ~1/5 of the keys; allow a generous band around it.
+	if lo, hi := len(keys)/10, len(keys)*2/5; moved < lo || moved > hi {
+		t.Fatalf("adding a 5th worker moved %d of %d keys; want roughly 1/5", moved, len(keys))
+	}
+}
+
+// TestRingSpreadsCommonPrefixKeys pins the avalanche fix in score(): the
+// windows of one job share a 17-char key prefix (same sig, differing only in
+// the window index), and raw FNV's weak trailing-byte diffusion routed whole
+// jobs to a single worker. With the finalizer, sibling windows must spread.
+func TestRingSpreadsCommonPrefixKeys(t *testing.T) {
+	r := NewRing([]string{"http://w1:9", "http://w2:9"}, 0)
+	byOwner := map[string]int{}
+	const windows = 64
+	for wi := 0; wi < windows; wi++ {
+		byOwner[r.Owner(WindowKey(0xe932ca71ecfb5326, wi))]++
+	}
+	for owner, n := range byOwner {
+		if n < windows/8 || n > windows*7/8 {
+			t.Fatalf("owner %s got %d of %d sibling windows; want a rough half-split (%v)",
+				owner, n, windows, byOwner)
+		}
+	}
+	if len(byOwner) != 2 {
+		t.Fatalf("sibling windows all routed to %v", byOwner)
+	}
+}
+
+func TestRingAddRemoveIdempotent(t *testing.T) {
+	r := NewRing([]string{"a", "b"}, 4)
+	r.Add("b")
+	r.Add("c")
+	r.Add("c")
+	if got := r.Nodes(); len(got) != 3 {
+		t.Fatalf("Nodes() = %v, want 3 unique members", got)
+	}
+	r.Remove("zzz") // absent: no-op
+	r.Remove("b")
+	r.Remove("b")
+	if got := r.Nodes(); fmt.Sprint(got) != "[a c]" {
+		t.Fatalf("Nodes() = %v, want [a c]", got)
+	}
+	if NewRing(nil, 0).Owner("key") != "" {
+		t.Fatal("empty ring must own nothing")
+	}
+}

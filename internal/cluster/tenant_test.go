@@ -1,0 +1,141 @@
+package cluster
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"mclg/internal/mclgerr"
+)
+
+func TestParseTenantLimits(t *testing.T) {
+	limits, err := ParseTenantLimits("acme=5/10, *=1/2 ,big=0.5/4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if limits["acme"] != (TenantLimit{Rate: 5, Burst: 10}) ||
+		limits["*"] != (TenantLimit{Rate: 1, Burst: 2}) ||
+		limits["big"] != (TenantLimit{Rate: 0.5, Burst: 4}) {
+		t.Fatalf("parsed %v", limits)
+	}
+	if got := FormatTenantLimits(limits); got != "*=1/2,acme=5/10,big=0.5/4" {
+		t.Fatalf("FormatTenantLimits = %q", got)
+	}
+	if empty, err := ParseTenantLimits("  "); err != nil || len(empty) != 0 {
+		t.Fatalf("empty spec: %v %v", empty, err)
+	}
+	for _, bad := range []string{
+		"acme", "acme=5", "acme=x/2", "acme=5/x", "acme=-1/2",
+		"acme=5/0.5", "=5/2", "acme=5/2,acme=1/1",
+	} {
+		if _, err := ParseTenantLimits(bad); !errors.Is(err, mclgerr.ErrInvalidInput) {
+			t.Errorf("ParseTenantLimits(%q) = %v, want invalid-input", bad, err)
+		}
+	}
+}
+
+// gateAt builds a gate with a controllable clock.
+func gateAt(limits map[string]TenantLimit) (*TenantGate, *time.Time) {
+	g := NewTenantGate(limits)
+	now := time.Unix(1000, 0)
+	g.now = func() time.Time { return now }
+	return g, &now
+}
+
+func TestTenantGateInteractiveDrainsBucket(t *testing.T) {
+	g, now := gateAt(map[string]TenantLimit{"acme": {Rate: 1, Burst: 4}})
+	for i := 0; i < 4; i++ {
+		if ok, _ := g.Admit("acme", PriorityInteractive); !ok {
+			t.Fatalf("admission %d refused with tokens left", i)
+		}
+	}
+	ok, wait := g.Admit("acme", PriorityInteractive)
+	if ok || wait <= 0 {
+		t.Fatalf("over-burst admission: ok=%v wait=%v", ok, wait)
+	}
+	// Refill at 1 token/s: after the advertised wait the same admission
+	// must succeed.
+	*now = now.Add(wait)
+	if ok, _ := g.Admit("acme", PriorityInteractive); !ok {
+		t.Fatal("admission refused after waiting the advertised Retry-After")
+	}
+	admitted, throttled := g.Counts()
+	if admitted != 5 || throttled != 1 {
+		t.Fatalf("counts = %d admitted %d throttled", admitted, throttled)
+	}
+}
+
+// TestTenantGateBatchLeavesInteractiveReserve pins the priority contract:
+// batch work cannot take the bucket below the interactive reserve, so a batch
+// flood never locks out the tenant's own interactive traffic.
+func TestTenantGateBatchLeavesInteractiveReserve(t *testing.T) {
+	g, _ := gateAt(map[string]TenantLimit{"acme": {Rate: 1, Burst: 8}})
+	batch := 0
+	for {
+		ok, _ := g.Admit("acme", PriorityBatch)
+		if !ok {
+			break
+		}
+		batch++
+		if batch > 8 {
+			t.Fatal("batch admissions exceeded burst")
+		}
+	}
+	if batch == 0 {
+		t.Fatal("no batch admission at full bucket")
+	}
+	// The reserve (25% of burst = 2 tokens) must still admit interactive.
+	inter := 0
+	for {
+		ok, _ := g.Admit("acme", PriorityInteractive)
+		if !ok {
+			break
+		}
+		inter++
+		if inter > 8 {
+			t.Fatal("interactive admissions exceeded burst")
+		}
+	}
+	if inter == 0 {
+		t.Fatal("batch flood starved interactive traffic out of its reserve")
+	}
+}
+
+func TestTenantGateDefaultAndUnlimited(t *testing.T) {
+	g, _ := gateAt(map[string]TenantLimit{"*": {Rate: 1, Burst: 1}})
+	if ok, _ := g.Admit("anyone", PriorityInteractive); !ok {
+		t.Fatal("first admission under the default limit refused")
+	}
+	if ok, _ := g.Admit("anyone", PriorityInteractive); ok {
+		t.Fatal("default limit not applied to unlisted tenant")
+	}
+	// Separate tenants get separate buckets under the default.
+	if ok, _ := g.Admit("other", PriorityInteractive); !ok {
+		t.Fatal("default-limit buckets must be per-tenant")
+	}
+
+	open := NewTenantGate(nil)
+	for i := 0; i < 100; i++ {
+		if ok, _ := open.Admit("anyone", PriorityBatch); !ok {
+			t.Fatal("gate without limits must admit everything")
+		}
+	}
+}
+
+func TestTenantGateWritePrometheus(t *testing.T) {
+	g, _ := gateAt(map[string]TenantLimit{"acme": {Rate: 1, Burst: 1}})
+	g.Admit("acme", PriorityInteractive)
+	g.Admit("acme", PriorityInteractive)
+	var sb strings.Builder
+	g.WritePrometheus(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		`mclgd_cluster_admissions_total{decision="admitted"} 1`,
+		`mclgd_cluster_admissions_total{decision="throttled"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}

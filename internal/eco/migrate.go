@@ -1,0 +1,81 @@
+package eco
+
+import (
+	"context"
+
+	"mclg/internal/design"
+	"mclg/internal/mclgerr"
+)
+
+// Snapshot is a session's migratable state: the pristine base design plus
+// the accepted delta log, which together determine the committed placement
+// exactly (every pipeline stage is deterministic). BaseHash and PosHash pin
+// the state-zero and current placements so the receiving host can verify the
+// rebuilt session bit-for-bit before taking traffic.
+type Snapshot struct {
+	ID       string
+	Base     *design.Design
+	Log      []Batch
+	BaseHash string
+	PosHash  string
+}
+
+// Snapshot captures the session's migratable state atomically. The base
+// design is cloned, so the snapshot stays valid while the live session keeps
+// applying batches (those later batches are simply not part of it).
+func (s *Session) Snapshot() Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	log := make([]Batch, len(s.log))
+	copy(log, s.log)
+	return Snapshot{
+		ID:       s.id,
+		Base:     s.base.Clone(),
+		Log:      log,
+		BaseHash: s.baseHash,
+		PosHash:  s.posHash,
+	}
+}
+
+// Migrate rebuilds a session from a snapshot on a new host: it creates a
+// fresh session over the snapshot's base design (durable under opts.LogPath
+// if set), replays the delta log batch by batch, and verifies that both the
+// state-zero hash and the final committed placement hash reproduce the
+// snapshot's exactly. Any mismatch fails the migration with a typed error
+// and closes the half-built session — a migrated session is either
+// bit-identical to the original or it does not exist.
+func Migrate(ctx context.Context, snap Snapshot, opts Options) (*Session, error) {
+	if snap.Base == nil {
+		return nil, mclgerr.Invalidf("eco-migrate: snapshot has no base design")
+	}
+	s, err := Create(ctx, snap.ID, snap.Base, opts)
+	if err != nil {
+		return nil, mclgerr.Stage("eco-migrate", err)
+	}
+	fail := func(err error) (*Session, error) {
+		_ = s.Close()
+		return nil, err
+	}
+	if snap.BaseHash != "" && s.BaseHash() != snap.BaseHash {
+		return fail(mclgerr.Invalidf("eco-migrate: state-zero hash %s does not reproduce snapshot %s", s.BaseHash(), snap.BaseHash))
+	}
+	// A durable Create may have resumed an existing log at opts.LogPath; a
+	// migration must start from scratch, so any resumed batches are a
+	// conflict, not a head start.
+	if s.Seq() != 0 {
+		return fail(mclgerr.Invalidf("eco-migrate: target log %s already holds %d batches", opts.LogPath, s.Seq()))
+	}
+	for _, b := range snap.Log {
+		res, aerr := s.Apply(ctx, b.Deltas)
+		if aerr != nil {
+			return fail(mclgerr.Stage("eco-migrate", aerr))
+		}
+		if b.Seq != 0 && res.Seq != b.Seq {
+			return fail(mclgerr.Invalidf("eco-migrate: batch replayed to seq %d, snapshot says %d", res.Seq, b.Seq))
+		}
+	}
+	if snap.PosHash != "" && s.PosHash() != snap.PosHash {
+		return fail(mclgerr.Invalidf("eco-migrate: replayed placement %s does not reproduce snapshot %s", s.PosHash(), snap.PosHash))
+	}
+	return s, nil
+}

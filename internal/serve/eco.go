@@ -26,6 +26,11 @@ type ecoRequest struct {
 	Action  string `json:"action"`
 	Session string `json:"session,omitempty"`
 
+	// Tenant names the submitting tenant for admission rate limiting. ECO
+	// traffic is always charged at the interactive tier (sessions exist for
+	// latency-bound incremental work), so there is no priority field.
+	Tenant string `json:"tenant,omitempty"`
+
 	// Create: design source and solver/window knobs.
 	Bench      string            `json:"bench,omitempty"`
 	Scale      float64           `json:"scale,omitempty"`
@@ -282,6 +287,16 @@ func (s *Server) handleECO(w http.ResponseWriter, r *http.Request) {
 	if err := req.validate(); err != nil {
 		s.refuse(w, http.StatusBadRequest, "invalid_input", err.Error())
 		return
+	}
+
+	// Create and apply do real solver work, so they pass the tenant gate at
+	// the interactive tier; commit/close only read or release state.
+	if s.cfg.Gate != nil && (req.Action == "create" || req.Action == "apply") {
+		if ok, after := s.cfg.Gate.Admit(req.Tenant, "interactive"); !ok {
+			s.stats.rejectedLimited.inc()
+			s.fail(w, &rateLimitedError{tenant: req.Tenant, after: after})
+			return
+		}
 	}
 
 	ctx, cancel := context.WithTimeout(s.baseCtx, s.jobTimeout(&Request{}))

@@ -85,6 +85,23 @@ type Request struct {
 	// primary solves compute identical placements — so it does NOT enter
 	// the cache key.
 	Hedge float64 `json:"hedge,omitempty"`
+
+	// Tenant names the submitting tenant for admission-queue rate limiting;
+	// empty is the anonymous tenant. Priority picks the admission tier:
+	// "interactive" may drain the tenant's token bucket, "batch" (the
+	// default) must leave the interactive reserve standing. Both are
+	// result-neutral — they decide *whether* a job is admitted, never what
+	// it computes — so neither enters the cache key.
+	Tenant   string `json:"tenant,omitempty"`
+	Priority string `json:"priority,omitempty"`
+}
+
+// priority resolves the admission tier, defaulting to batch.
+func (r *Request) priority() string {
+	if r.Priority == "" {
+		return "batch"
+	}
+	return r.Priority
 }
 
 var validMethods = map[string]bool{"ours": true, "dac16": true, "dac16imp": true, "aspdac17": true}
@@ -115,6 +132,11 @@ func (r *Request) validate() error {
 	}
 	if r.Hedge < 0 || r.Hedge > 1 {
 		return mclgerr.Invalidf("serve: hedge %g out of range [0, 1]", r.Hedge)
+	}
+	switch r.Priority {
+	case "", "batch", "interactive":
+	default:
+		return mclgerr.Invalidf("serve: priority %q must be \"batch\" or \"interactive\"", r.Priority)
 	}
 	switch {
 	case r.Bench != "" && len(r.Files) > 0:

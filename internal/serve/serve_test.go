@@ -10,12 +10,14 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"mclg/internal/bookshelf"
+	"mclg/internal/cluster"
 	"mclg/internal/gen"
 	"mclg/internal/serve/report"
 )
@@ -527,5 +529,75 @@ func TestAuditAllConfig(t *testing.T) {
 	}
 	if base.Certificate != nil {
 		t.Error("AuditAll audited a baseline method")
+	}
+}
+
+// TestTenantGate429 pins the admission-gate surface: a tenant past its
+// token-bucket limit gets 429 with the gate's Retry-After hint, interactive
+// priority keeps its reserved headroom when batch is refused, cache hits are
+// never charged, and tenant identity stays out of the cache key.
+func TestTenantGate429(t *testing.T) {
+	if testing.Short() {
+		t.Skip("solves a benchmark")
+	}
+	// Burst 2.5 at 0.5 tokens/s: batch needs 1 + 0.25*2.5 = 1.625 tokens, so
+	// the first batch job is admitted (2.5 -> 1.5) and the second refused,
+	// while an interactive job (need 1) still fits the remaining 1.5.
+	gate := cluster.NewTenantGate(map[string]cluster.TenantLimit{
+		"acme": {Rate: 0.5, Burst: 2.5},
+	})
+	_, ts := newTestServer(t, Config{Gate: gate})
+
+	var rep report.Report
+	if resp := post(t, ts.URL, &Request{Bench: "fft_2", Scale: 0.004, Tenant: "acme"}, &rep); resp.StatusCode != http.StatusOK {
+		t.Fatalf("first batch job: HTTP %d", resp.StatusCode)
+	}
+
+	var eb errorBody
+	resp := post(t, ts.URL, &Request{Bench: "des_perf_1", Scale: 0.004, Tenant: "acme"}, &eb)
+	if resp.StatusCode != http.StatusTooManyRequests || eb.Class != "rate_limited" {
+		t.Fatalf("second batch job: HTTP %d class %q, want 429 rate_limited", resp.StatusCode, eb.Class)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("429 carried no Retry-After hint")
+	} else if secs, err := strconv.Atoi(ra); err != nil || secs < 1 {
+		t.Fatalf("Retry-After %q is not a positive integer second count", ra)
+	}
+
+	// The refused job at interactive priority fits the reserved headroom.
+	var irep report.Report
+	if resp := post(t, ts.URL, &Request{Bench: "des_perf_1", Scale: 0.004, Tenant: "acme", Priority: "interactive"}, &irep); resp.StatusCode != http.StatusOK {
+		t.Fatalf("interactive job: HTTP %d", resp.StatusCode)
+	}
+
+	// A repeat of the first job is a cache hit: served without a charge, and
+	// under a different tenant name — tenant is not part of the cache key.
+	admittedBefore, _ := gate.Counts()
+	var hit report.Report
+	if resp := post(t, ts.URL, &Request{Bench: "fft_2", Scale: 0.004, Tenant: "someone-else"}, &hit); resp.StatusCode != http.StatusOK {
+		t.Fatalf("cache-hit job: HTTP %d", resp.StatusCode)
+	}
+	if hit.Cache != "hit" || hit.PosHash != rep.PosHash {
+		t.Fatalf("repeat job: cache=%q pos_hash match=%v, want a hit with the same placement", hit.Cache, hit.PosHash == rep.PosHash)
+	}
+	if admittedAfter, _ := gate.Counts(); admittedAfter != admittedBefore {
+		t.Fatalf("cache hit charged the tenant gate (%d -> %d admissions)", admittedBefore, admittedAfter)
+	}
+
+	// Refusals are visible on /metrics.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if !strings.Contains(string(raw), `mclgd_rejected_total{reason="rate_limited"} 1`) {
+		t.Error("/metrics missing the rate_limited rejection count")
+	}
+
+	// A malformed priority is an input error, not a gate decision.
+	var bad errorBody
+	if resp := post(t, ts.URL, &Request{Bench: "fft_2", Scale: 0.004, Priority: "urgent"}, &bad); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("priority \"urgent\": HTTP %d, want 400", resp.StatusCode)
 	}
 }

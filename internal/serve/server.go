@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"math"
 	"math/rand"
 	"net/http"
 	"runtime"
@@ -33,6 +34,7 @@ import (
 	"time"
 
 	"mclg/internal/core"
+	"mclg/internal/design"
 	"mclg/internal/faults"
 	"mclg/internal/mclgerr"
 	"mclg/internal/serve/report"
@@ -91,8 +93,44 @@ type Config struct {
 	// Chaos, when non-nil, injects deterministic window-granular faults into
 	// windowed jobs. Test-only.
 	Chaos *faults.WindowChaos
+	// Dispatcher, when non-nil, replaces the in-process windowed solve: a
+	// coordinator daemon sets it to shard window jobs across worker daemons
+	// (internal/cluster). Non-windowed jobs still solve locally.
+	Dispatcher WindowDispatcher
+	// Gate, when non-nil, applies per-tenant rate limits with priority
+	// tiers ahead of the job queue; a refusal surfaces as 429 with the
+	// gate's Retry-After hint.
+	Gate AdmissionGate
+	// ExtraMetrics, when non-nil, appends additional series (e.g. the
+	// cluster registry) to the /metrics exposition.
+	ExtraMetrics func(w io.Writer)
 	// Logger receives structured per-job logs; nil discards them.
 	Logger *slog.Logger
+}
+
+// WindowDispatcher routes a windowed job's per-window solves — the cluster
+// coordinator implements it over worker daemons. The implementation must
+// uphold the determinism contract: the committed placement is bit-identical
+// to the local window.Legalize for the same design and options.
+type WindowDispatcher interface {
+	DispatchWindows(ctx context.Context, d *design.Design, opts window.Options) (*window.Stats, error)
+}
+
+// AdmissionGate decides whether a tenant's job may enter the queue at the
+// given priority ("interactive" | "batch"). A refusal returns how long the
+// tenant should wait, surfaced as Retry-After on the 429.
+type AdmissionGate interface {
+	Admit(tenant, priority string) (ok bool, retryAfter time.Duration)
+}
+
+// rateLimitedError carries a gate refusal's retry hint to the HTTP mapping.
+type rateLimitedError struct {
+	tenant string
+	after  time.Duration
+}
+
+func (e *rateLimitedError) Error() string {
+	return fmt.Sprintf("serve: tenant %q rate limit exceeded", e.tenant)
 }
 
 func (c Config) withDefaults() Config {
@@ -466,6 +504,18 @@ func (s *Server) handleLegalize(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// The tenant gate charges only leaders: joined followers share a solve
+	// that is already paid for, and cache hits never reach this point.
+	if s.cfg.Gate != nil {
+		if ok, after := s.cfg.Gate.Admit(req.Tenant, req.priority()); !ok {
+			err := &rateLimitedError{tenant: req.Tenant, after: after}
+			s.stats.rejectedLimited.inc()
+			s.cache.abort(key, fl, err)
+			s.fail(w, err)
+			return
+		}
+	}
+
 	ctx, cancel := context.WithTimeout(s.baseCtx, timeout)
 	j := &job{
 		id:       s.nextID(),
@@ -518,6 +568,9 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.stats.writePrometheus(w, s.cache, s.warm)
+	if s.cfg.ExtraMetrics != nil {
+		s.cfg.ExtraMetrics(w)
+	}
 }
 
 // respond writes a success payload, cloning the shared report so the cache
@@ -542,7 +595,15 @@ type errorBody struct {
 
 // fail maps an error onto the HTTP surface via its mclgerr class.
 func (s *Server) fail(w http.ResponseWriter, err error) {
+	var rl *rateLimitedError
 	switch {
+	case errors.As(err, &rl):
+		secs := int(math.Ceil(rl.after.Seconds()))
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		s.refuse(w, http.StatusTooManyRequests, "rate_limited", err.Error())
 	case errors.Is(err, errQueueFull):
 		w.Header().Set("Retry-After", retryAfterHint())
 		s.refuse(w, http.StatusTooManyRequests, "queue_full", err.Error())

@@ -69,6 +69,7 @@ type serverStats struct {
 
 	rejectedFull     counter // 429: queue at capacity
 	rejectedDraining counter // 503: submitted during drain
+	rejectedLimited  counter // 429: tenant over its admission rate limit
 
 	// solveAllocs accumulates the process-wide Mallocs delta observed
 	// around each solve; solveSamples counts the solves sampled, so
@@ -232,6 +233,7 @@ func (s *serverStats) writePrometheus(w io.Writer, cache *resultCache, warm *war
 	fmt.Fprintf(w, "# TYPE mclgd_rejected_total counter\n")
 	fmt.Fprintf(w, "mclgd_rejected_total{reason=\"queue_full\"} %d\n", s.rejectedFull.get())
 	fmt.Fprintf(w, "mclgd_rejected_total{reason=\"draining\"} %d\n", s.rejectedDraining.get())
+	fmt.Fprintf(w, "mclgd_rejected_total{reason=\"rate_limited\"} %d\n", s.rejectedLimited.get())
 
 	fmt.Fprintf(w, "# HELP mclgd_audit_total Audit-on-commit outcomes (pass/fail = sealed certificate verdict, error = audit could not complete).\n")
 	fmt.Fprintf(w, "# TYPE mclgd_audit_total counter\n")

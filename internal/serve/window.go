@@ -50,7 +50,16 @@ func (s *Server) solveWindowed(j *job, d *design.Design) (*report.Report, error)
 		}
 	}
 
-	st, err := window.Legalize(j.ctx, d, opts)
+	// A configured dispatcher (cluster coordinator role) ships window solves
+	// to remote workers; the supervisor, journal, and stitch semantics are
+	// identical either way, so the placement is too.
+	var st *window.Stats
+	var err error
+	if s.cfg.Dispatcher != nil {
+		st, err = s.cfg.Dispatcher.DispatchWindows(j.ctx, d, opts)
+	} else {
+		st, err = window.Legalize(j.ctx, d, opts)
+	}
 	if journal != nil {
 		if err == nil {
 			_ = journal.Remove()

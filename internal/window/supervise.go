@@ -60,6 +60,19 @@ type Options struct {
 	// (panics, stalls, NaN poisoning) into solve attempts. Test-only.
 	Chaos *faults.WindowChaos
 
+	// SolveWindow, when non-nil, replaces the local per-window solve: a
+	// cluster coordinator sets it to ship window w's sub-design to a remote
+	// worker. The supervisor's retry, backoff, hedging, and degradation
+	// machinery apply unchanged — attempt is the retry index (HedgeAttempt
+	// for hedge re-issues, so the hook can route hedges to a different
+	// worker), and when every attempt fails the window still degrades to the
+	// local greedy fallback. The hook MUST be result-deterministic: every
+	// successful call for the same (d, plan, w) returns the same cells,
+	// which is what keeps the stitched placement independent of routing,
+	// retries, and hedge outcomes. Chaos injection is bypassed for hooked
+	// solves (chaos sabotages local attempts only).
+	SolveWindow func(ctx context.Context, d *design.Design, p *Plan, w, attempt int) (*Result, error)
+
 	// Journal, when non-nil, records every verified window result and
 	// replays previously recorded windows instead of re-solving them.
 	Journal Journal
@@ -230,6 +243,9 @@ func (s *supervisor) attempt(ctx context.Context, wi, attemptIdx int) (res *Resu
 		defer cancel()
 	}
 	s.states[wi].addCancelContext(&actx)
+	if s.opts.SolveWindow != nil {
+		return s.opts.SolveWindow(actx, s.d, s.plan, wi, attemptIdx)
+	}
 	b := &s.plan.Bands[wi]
 	sub, idx := buildSub(s.d, s.plan, b)
 	if s.opts.Chaos != nil {
