@@ -56,6 +56,7 @@ func main() {
 		theta      = flag.Float64("theta", 0.5, "MMSIM splitting constant θ*")
 		eps        = flag.Float64("eps", 1e-4, "MMSIM convergence tolerance")
 		autoTheta  = flag.Bool("autotheta", false, "clamp θ* below the Theorem-2 bound")
+		autoTune   = flag.Bool("autotune", false, "auto-tune θ* per problem structure by ranking candidates on the estimated iteration spectral radius (supersedes -autotheta; deterministic)")
 		refineObj  = flag.String("refine", "", "post-legalization refinement objective: disp | hpwl")
 		checkOnly  = flag.Bool("check", false, "only check legality of the input placement and exit")
 		boundRight = flag.Bool("boundright", false, "solve with exact right-boundary constraints (extension)")
@@ -101,7 +102,7 @@ func main() {
 		runRemote(*serverURL, *auxPath, *benchName, *scale, *method, *resilient, *auditRun,
 			serve.OptionsJSON{
 				Lambda: *lambda, Beta: *beta, Theta: *theta, Eps: *eps,
-				AutoTheta: *autoTheta, BoundRight: *boundRight, Workers: *workers,
+				AutoTheta: *autoTheta, AutoTune: *autoTune, BoundRight: *boundRight, Workers: *workers,
 			}, *windowsOn, *windowRows, *hedge,
 			*timeout, *retryN, *outPath, *jsonOut, *runGP || *checkOnly || *refineObj != "")
 		return
@@ -169,7 +170,7 @@ func main() {
 		numAttempts int
 	)
 	oursOpts := core.Options{Lambda: *lambda, Beta: *beta, Theta: *theta, Eps: *eps,
-		AutoTheta: *autoTheta, BoundRight: *boundRight, Workers: *workers}
+		AutoTheta: *autoTheta, AutoTune: *autoTune, BoundRight: *boundRight, Workers: *workers}
 	switch *method {
 	case "ours":
 		opts := oursOpts

@@ -68,6 +68,9 @@ type Metrics struct {
 	solveErrors  counter // worker: shard solves that failed
 	refusedDrain counter // worker: shard solves refused while draining
 
+	warmHits   counter // worker: shard solves that reused pooled warm state
+	warmMisses counter // worker: shard solves that ran cold through the pool
+
 	migratedSessions counter // ECO sessions migrated between workers
 	migrationErrors  counter // ECO migrations that failed verification
 }
@@ -115,6 +118,11 @@ func (m *Metrics) RoutedByWorker() map[string]uint64 {
 // coordinator (test/smoke helper).
 func (m *Metrics) RemoteCacheHits() uint64 { return m.cacheRemoteHits.get() }
 
+// WarmHits and WarmMisses return the worker warm-pool outcome counts
+// (test/smoke helpers).
+func (m *Metrics) WarmHits() uint64   { return m.warmHits.get() }
+func (m *Metrics) WarmMisses() uint64 { return m.warmMisses.get() }
+
 // MigratedSessions returns the completed ECO migration count.
 func (m *Metrics) MigratedSessions() uint64 { return m.migratedSessions.get() }
 
@@ -156,6 +164,11 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	fmt.Fprintf(w, "# HELP mclgd_cluster_refused_draining_total Shard solves refused because the worker was draining.\n")
 	fmt.Fprintf(w, "# TYPE mclgd_cluster_refused_draining_total counter\n")
 	fmt.Fprintf(w, "mclgd_cluster_refused_draining_total %d\n", m.refusedDrain.get())
+
+	fmt.Fprintf(w, "# HELP mclgd_cluster_warm_total Shard solves through the worker's warm-state pool, by outcome (hit = cached factorizations reused).\n")
+	fmt.Fprintf(w, "# TYPE mclgd_cluster_warm_total counter\n")
+	fmt.Fprintf(w, "mclgd_cluster_warm_total{result=\"hit\"} %d\n", m.warmHits.get())
+	fmt.Fprintf(w, "mclgd_cluster_warm_total{result=\"miss\"} %d\n", m.warmMisses.get())
 
 	fmt.Fprintf(w, "# HELP mclgd_cluster_migrated_sessions_total ECO sessions migrated between workers via delta-log replay.\n")
 	fmt.Fprintf(w, "# TYPE mclgd_cluster_migrated_sessions_total counter\n")

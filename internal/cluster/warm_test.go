@@ -1,0 +1,131 @@
+package cluster
+
+import (
+	"context"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"mclg/internal/design"
+	"mclg/internal/regress"
+	"mclg/internal/window"
+)
+
+// jitterGX nudges every movable cell's global x by a tiny deterministic
+// amount: positions change (so neither result cache can answer), topology
+// does not (so the worker's warm pool routes the re-solve onto the pooled
+// state for each window).
+func jitterGX(d *design.Design, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	for _, c := range d.Cells {
+		if c.Fixed {
+			continue
+		}
+		c.GX += (rng.Float64()*2 - 1) * 1e-3
+		c.X = c.GX
+	}
+}
+
+// TestClusterWarmPoolReuse covers the worker warm-pool satellite end to end:
+// a first dispatch runs every shard cold (misses only), a re-dispatch of the
+// same topology with moved cells reuses pooled warm states (hits recorded),
+// and the warm-path placement stays bit-identical to a standalone solve of
+// the same moved design.
+func TestClusterWarmPoolReuse(t *testing.T) {
+	const bench, scale = "fft_2", 0.004
+	m := NewMetrics()
+	wk := NewWorker(WorkerConfig{Solves: 2, Metrics: m})
+	srv := httptest.NewServer(wk.Handler())
+	defer srv.Close()
+	coord := NewCoordinator(CoordinatorConfig{Peers: []string{srv.URL}})
+
+	d1 := clusterTestDesign(t, bench, scale)
+	if _, err := coord.DispatchWindows(context.Background(), d1, clusterOptions()); err != nil {
+		t.Fatalf("first dispatch: %v", err)
+	}
+	if m.WarmHits() != 0 {
+		t.Fatalf("first pass through a fresh pool recorded %d warm hits, want 0", m.WarmHits())
+	}
+	if m.WarmMisses() == 0 {
+		t.Fatal("first pass recorded no warm-pool misses — pool not wired into shard solves")
+	}
+
+	// Standalone reference for the moved design.
+	ref := clusterTestDesign(t, bench, scale)
+	jitterGX(ref, 97)
+	if _, err := window.Legalize(context.Background(), ref, clusterOptions()); err != nil {
+		t.Fatalf("standalone Legalize: %v", err)
+	}
+	want := regress.PositionHash(ref)
+
+	d2 := clusterTestDesign(t, bench, scale)
+	jitterGX(d2, 97)
+	if _, err := coord.DispatchWindows(context.Background(), d2, clusterOptions()); err != nil {
+		t.Fatalf("second dispatch: %v", err)
+	}
+	if m.WarmHits() == 0 {
+		t.Fatal("re-dispatch of the same topology recorded no warm-pool hits")
+	}
+	if got := regress.PositionHash(d2); got != want {
+		t.Fatalf("warm-path placement %s != standalone %s — warm reuse changed positions", got, want)
+	}
+
+	// The outcome counters are exported on the worker's scrape surface.
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, series := range []string{
+		`mclgd_cluster_warm_total{result="hit"}`,
+		`mclgd_cluster_warm_total{result="miss"}`,
+	} {
+		if !strings.Contains(string(body), series) {
+			t.Errorf("/metrics missing %s", series)
+		}
+	}
+}
+
+// TestWorkerWarmPoolConfig pins the WarmCap contract: zero means a default
+// pool, negative disables pooling entirely.
+func TestWorkerWarmPoolConfig(t *testing.T) {
+	if wk := NewWorker(WorkerConfig{}); wk.warm == nil {
+		t.Fatal("default worker has no warm pool")
+	}
+	if wk := NewWorker(WorkerConfig{WarmCap: -1}); wk.warm != nil {
+		t.Fatal("WarmCap < 0 should disable the warm pool")
+	}
+}
+
+// TestShardWarmKeyPositionInvariant: the warm routing key ignores cell
+// positions but distinguishes window index and structural edits.
+func TestShardWarmKeyPositionInvariant(t *testing.T) {
+	d1 := clusterTestDesign(t, "fft_2", 0.004)
+	d2 := clusterTestDesign(t, "fft_2", 0.004)
+	jitterGX(d2, 131)
+	opts := clusterOptions().Cascade.Base
+
+	if shardWarmKey(d1, 3, &opts) != shardWarmKey(d2, 3, &opts) {
+		t.Fatal("warm key changed under a position-only perturbation")
+	}
+	if shardWarmKey(d1, 3, &opts) == shardWarmKey(d1, 4, &opts) {
+		t.Fatal("warm key does not separate window indices")
+	}
+	d3 := clusterTestDesign(t, "fft_2", 0.004)
+	for _, c := range d3.Cells {
+		if !c.Fixed {
+			c.W += d3.SiteW
+			break
+		}
+	}
+	if shardWarmKey(d1, 3, &opts) == shardWarmKey(d3, 3, &opts) {
+		t.Fatal("warm key missed a structural width change")
+	}
+}

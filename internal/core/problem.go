@@ -205,35 +205,67 @@ func BuildProblemBounded(d *design.Design, lambda float64, boundRight bool) (*Pr
 	p.NumCons = len(p.Cons)
 
 	// Constraint matrix B: row per constraint with −1 at Left, +1 at Right
-	// (boundary rows have only the −1 entry).
-	bb := sparse.NewBuilder(p.NumCons, p.NumVars)
+	// (boundary rows have only the −1 entry). Every row has at most two
+	// entries with known columns, so B is filled directly in CSR form
+	// (column-sorted per row, no duplicates) instead of through the
+	// triplet-sorting Builder — problem assembly dominates warm re-solves.
 	p.Bv = make([]float64, p.NumCons)
-	for i, c := range p.Cons {
-		bb.Add(i, c.Left, -1)
+	nnzB := 0
+	for _, c := range p.Cons {
+		nnzB++
 		if c.Right >= 0 {
-			bb.Add(i, c.Right, 1)
+			nnzB++
+		}
+	}
+	bRowPtr := make([]int, p.NumCons+1)
+	bCol := make([]int, nnzB)
+	bVal := make([]float64, nnzB)
+	k := 0
+	for i, c := range p.Cons {
+		bRowPtr[i] = k
+		switch {
+		case c.Right < 0:
+			bCol[k], bVal[k] = c.Left, -1
+			k++
+		case c.Left < c.Right:
+			bCol[k], bVal[k] = c.Left, -1
+			bCol[k+1], bVal[k+1] = c.Right, 1
+			k += 2
+		default:
+			// Variable indices follow cell-ID order, not x order, so the
+			// right neighbor's column may be the smaller one.
+			bCol[k], bVal[k] = c.Right, 1
+			bCol[k+1], bVal[k+1] = c.Left, -1
+			k += 2
 		}
 		p.Bv[i] = c.Gap
 	}
-	p.B = bb.Build()
+	bRowPtr[p.NumCons] = k
+	p.B = &sparse.CSR{Rows: p.NumCons, Cols: p.NumVars, RowPtr: bRowPtr, ColIdx: bCol, Val: bVal}
 
 	// Equality matrix E: chain consecutive subcells of each multi-row cell.
+	// A cell's variables are consecutive and increasing, so each row's two
+	// entries are already column-sorted — direct CSR fill again.
 	numEq := 0
 	for _, vars := range p.CellVars {
 		if len(vars) > 1 {
 			numEq += len(vars) - 1
 		}
 	}
-	eb := sparse.NewBuilder(numEq, p.NumVars)
-	row := 0
+	eRowPtr := make([]int, numEq+1)
+	eCol := make([]int, 2*numEq)
+	eVal := make([]float64, 2*numEq)
+	k = 0
 	for _, vars := range p.CellVars {
-		for k := 0; k+1 < len(vars); k++ {
-			eb.Add(row, vars[k], -1)
-			eb.Add(row, vars[k+1], 1)
-			row++
+		for j := 0; j+1 < len(vars); j++ {
+			eRowPtr[k/2] = k
+			eCol[k], eVal[k] = vars[j], -1
+			eCol[k+1], eVal[k+1] = vars[j+1], 1
+			k += 2
 		}
 	}
-	p.E = eb.Build()
+	eRowPtr[numEq] = k
+	p.E = &sparse.CSR{Rows: numEq, Cols: p.NumVars, RowPtr: eRowPtr, ColIdx: eCol, Val: eVal}
 
 	// Linear objective p = −x'.
 	p.P = make([]float64, p.NumVars)

@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 
-	"mclg/internal/par"
 	"mclg/internal/sparse"
 )
 
@@ -130,10 +129,11 @@ func (s *StructuredSplitting) SolveMOmega(dst, rhs []float64) {
 		// Ω_x = I: per-cell solve of (1/β*)(I + λL) + I = (1/β*+1)I + (λ/β*)L.
 		s.p.SolveHShiftedP(s.workers, 1/s.beta+1, s.p.Lambda/s.beta, dst[:n], rhs[:n])
 	}
-	// Bottom block: ((1/θ*)D + Ω_r).
+	// Bottom block: ((1/θ*)D + Ω_r). The copy of rhs_r is fused into the
+	// B·s_x row pass (rhsR[i] = rhs[n+i] + (−1)·(B s_x)_i, same per-element
+	// arithmetic as copy-then-AddMulVec).
 	rhsR := dst[n : n+m]
-	copy(rhsR, rhs[n:n+m])
-	s.p.B.AddMulVecP(s.workers, rhsR, dst[:n], -1)
+	s.p.B.ScaleAddMulVecP(s.workers, rhsR, rhs[n:n+m], 1, dst[:n], -1)
 	s.mSolver.SolveP(s.workers, rhsR, rhsR)
 }
 
@@ -145,20 +145,12 @@ func (s *StructuredSplitting) ApplyN(dst, src []float64) {
 	n, m := s.p.NumVars, s.p.NumCons
 	s.p.ApplyHP(s.workers, s.scratchX, src[:n])
 	coef := 1/s.beta - 1
-	if par.Resolve(s.workers) <= 1 {
-		for i := 0; i < n; i++ {
-			dst[i] = coef * s.scratchX[i]
-		}
-	} else {
-		par.For(s.workers, n, par.GrainVec, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				dst[i] = coef * s.scratchX[i]
-			}
-		})
-	}
 	// Bᵀ src_r via the precomputed transpose: the row-sharded product keeps
-	// the scatter that AddMulVecT would do off the parallel path.
-	s.bT.AddMulVecP(s.workers, dst[:n], src[n:n+m], 1)
+	// the scatter that AddMulVecT would do off the parallel path. The
+	// (1/β*−1)·H src_x scaling is fused into the same row pass
+	// (dst[i] = coef·scratchX[i] + 1·(Bᵀ src_r)_i — identical per-element
+	// arithmetic, one less full-length store/load).
+	s.bT.ScaleAddMulVecP(s.workers, dst[:n], s.scratchX, coef, src[n:n+m], 1)
 	s.dScaled.MulVecP(s.workers, dst[n:n+m], src[n:n+m])
 }
 
@@ -171,6 +163,17 @@ func (s *StructuredSplitting) Omega() []float64 { return s.omega }
 // Γ = D⁻¹ B H⁻¹ Bᵀ, estimated by power iteration. θ* must lie strictly
 // below the returned value for the convergence guarantee to hold.
 func (s *StructuredSplitting) ThetaBound() (float64, error) {
+	return s.ThetaBoundBudget(200, 1e-8)
+}
+
+// ThetaBoundBudget is ThetaBound with an explicit power-iteration budget.
+// The estimate is a deterministic function of the splitting structure and
+// (maxIter, tol) — PowerIteration starts from a fixed quasi-random vector —
+// so callers that cache it (the parameter auto-tuner) reproduce the same
+// value on every run. A small budget (a few dozen iterations at a loose
+// tolerance) ranks candidate parameters reliably at a fraction of the
+// certification-grade cost.
+func (s *StructuredSplitting) ThetaBoundBudget(maxIter int, tol float64) (float64, error) {
 	m := s.p.NumCons
 	if m == 0 {
 		return 0, nil
@@ -187,7 +190,7 @@ func (s *StructuredSplitting) ThetaBound() (float64, error) {
 		s.p.SolveHShifted(1, s.p.Lambda, xTmp2, xTmp) // H⁻¹ Bᵀ v
 		s.p.B.MulVec(mTmp, xTmp2)                     // B H⁻¹ Bᵀ v
 		dSolver.Solve(dst, mTmp)                      // D⁻¹ ...
-	}, 200, 1e-8)
+	}, maxIter, tol)
 	if mu <= 0 {
 		return 0, fmt.Errorf("core: nonpositive μmax estimate %g", mu)
 	}

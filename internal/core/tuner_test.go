@@ -1,0 +1,140 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"mclg/internal/design"
+	"mclg/internal/gen"
+)
+
+// autoTuneDesign is a design with enough double-height coupling that the
+// tuner has a meaningful bound to work against.
+func autoTuneDesign(t *testing.T, seed int64) *design.Design {
+	t.Helper()
+	d, err := gen.Generate(gen.Spec{
+		Name: "autotune", Seed: seed,
+		SingleCells: 50, DoubleCells: 25, Density: 0.6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func positionsOf(d *design.Design) []float64 {
+	out := make([]float64, 0, 2*len(d.Cells))
+	for _, c := range d.Cells {
+		out = append(out, c.X, c.Y)
+	}
+	return out
+}
+
+// TestAutoTuneDeterministic is the cache-transparency contract: a tuner-cache
+// miss, a cache hit, and a miss after an explicit cache reset must all select
+// the same θ* and produce bit-identical placements. The cache can only skip
+// recomputation, never change the answer.
+func TestAutoTuneDeterministic(t *testing.T) {
+	d := autoTuneDesign(t, 431)
+	opts := Options{AutoTune: true}
+
+	ResetTunerCache()
+	d1 := d.Clone()
+	st1, err := New(opts).Legalize(d1) // cold cache: full tuning pass
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st1.AutoTuned {
+		t.Fatal("AutoTune solve did not report Stats.AutoTuned")
+	}
+	if st1.ThetaBound <= 0 || st1.ThetaUsed <= 0 {
+		t.Fatalf("tuned solve: ThetaUsed=%g ThetaBound=%g, want both positive", st1.ThetaUsed, st1.ThetaBound)
+	}
+	if st1.ThetaUsed >= st1.ThetaBound {
+		t.Fatalf("tuned θ* %g not below the Theorem 2 bound %g", st1.ThetaUsed, st1.ThetaBound)
+	}
+
+	d2 := d.Clone()
+	st2, err := New(opts).Legalize(d2) // warm cache: same structure key
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ResetTunerCache()
+	d3 := d.Clone()
+	st3, err := New(opts).Legalize(d3) // cold again: tuning re-runs from scratch
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, st := range []*Stats{st2, st3} {
+		if !st.AutoTuned {
+			t.Fatal("re-solve did not report Stats.AutoTuned")
+		}
+		if math.Float64bits(st.ThetaUsed) != math.Float64bits(st1.ThetaUsed) {
+			t.Fatalf("θ* drifted across cache states: %v vs %v", st.ThetaUsed, st1.ThetaUsed)
+		}
+	}
+	p1, p2, p3 := positionsOf(d1), positionsOf(d2), positionsOf(d3)
+	for i := range p1 {
+		if math.Float64bits(p1[i]) != math.Float64bits(p2[i]) || math.Float64bits(p1[i]) != math.Float64bits(p3[i]) {
+			t.Fatalf("placement differs across tuner-cache states at coord %d: %v / %v / %v",
+				i, p1[i], p2[i], p3[i])
+		}
+	}
+
+	if rep := design.CheckLegal(d1); !rep.Legal() {
+		t.Fatalf("auto-tuned placement not legal: %s", rep.String())
+	}
+}
+
+// TestAutoTuneRespectsBound: every candidate the tuner can pick stays under
+// the safety-scaled Theorem 2 limit, across a variety of structures.
+func TestAutoTuneRespectsBound(t *testing.T) {
+	for _, seed := range []int64{433, 439, 443} {
+		d := autoTuneDesign(t, seed)
+		ResetTunerCache()
+		st, err := New(Options{AutoTune: true}).Legalize(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !st.AutoTuned {
+			t.Fatalf("seed %d: solve did not report AutoTuned", seed)
+		}
+		if rep := design.CheckLegal(d); !rep.Legal() {
+			t.Fatalf("seed %d: auto-tuned placement not legal: %s", seed, rep.String())
+		}
+		if st.ThetaUsed >= autoTuneSafety*st.ThetaBound+1e-12 {
+			t.Fatalf("seed %d: θ* %g exceeds %g×bound (%g)", seed, st.ThetaUsed, autoTuneSafety, st.ThetaBound)
+		}
+	}
+}
+
+// TestAutoTuneWarmReuse: a warm re-solve of a tuned problem reports
+// AutoTuned from the cached state and matches the tuned θ*.
+func TestAutoTuneWarmReuse(t *testing.T) {
+	d := autoTuneDesign(t, 449)
+	ResetTunerCache()
+	warm := NewWarmState()
+	opts := Options{AutoTune: true, Warm: warm}
+
+	st1, err := New(opts).Legalize(d.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	perturbed := d.Clone()
+	perturbGX(perturbed, 450, 1e-3)
+	st2, err := New(opts).Legalize(perturbed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st2.WarmReused {
+		t.Fatal("perturbed re-solve did not reuse warm state")
+	}
+	if !st2.AutoTuned {
+		t.Fatal("warm re-solve lost the AutoTuned flag")
+	}
+	if math.Float64bits(st2.ThetaUsed) != math.Float64bits(st1.ThetaUsed) {
+		t.Fatalf("warm re-solve θ* %v differs from tuned %v", st2.ThetaUsed, st1.ThetaUsed)
+	}
+}

@@ -15,8 +15,10 @@ import (
 // whose per-row orderings — and hence B, E, H = Q+λEᵀE, and the Schur
 // tridiagonal D — are unchanged produce equal signatures, which is the
 // license for warm reuse: only the linear term P = −target differs between
-// such problems. The hash is FNV-1a over the canonical field order, so it
-// is stable across runs and platforms.
+// such problems. The hash mixes whole 64-bit words over the canonical field
+// order, so it is stable across runs and platforms; it lives only in process
+// memory and is never persisted, so the mixing function is free to change
+// between versions.
 func (p *Problem) StructureSig() uint64 {
 	h := uint64(fnvOffset64)
 	h = fnvInt(h, p.NumVars)
@@ -44,22 +46,26 @@ const (
 	fnvPrime64  = 1099511628211
 )
 
+// fnvInt folds one 64-bit word into the hash: the word is first dispersed
+// with a fixed-point avalanche (the finalizer constants popularized by
+// MurmurHash3) and then FNV-combined, which keeps the byte-at-a-time FNV's
+// distribution quality at one multiply per word instead of eight. Structure
+// signatures hash every subcell and constraint, so this is a measurable
+// slice of a warm re-solve.
 func fnvInt(h uint64, v int) uint64 {
 	u := uint64(v)
-	for i := 0; i < 8; i++ {
-		h = (h ^ (u & 0xff)) * fnvPrime64
-		u >>= 8
-	}
-	return h
+	u ^= u >> 33
+	u *= 0xff51afd7ed558ccd
+	u ^= u >> 33
+	return (h ^ u) * fnvPrime64
 }
 
 func fnvFloat(h uint64, v float64) uint64 {
 	u := math.Float64bits(v)
-	for i := 0; i < 8; i++ {
-		h = (h ^ (u & 0xff)) * fnvPrime64
-		u >>= 8
-	}
-	return h
+	u ^= u >> 33
+	u *= 0xff51afd7ed558ccd
+	u ^= u >> 33
+	return (h ^ u) * fnvPrime64
 }
 
 // warmSig extends StructureSig with every option that shapes the cached
@@ -81,6 +87,9 @@ func warmSig(p *Problem, opts *Options) uint64 {
 	}
 	if opts.ScaledOmegaX {
 		flags |= 4
+	}
+	if opts.AutoTune {
+		flags |= 8
 	}
 	return fnvInt(h, flags)
 }
@@ -112,6 +121,7 @@ type WarmState struct {
 
 	thetaUsed  float64
 	thetaBound float64
+	autoTuned  bool // thetaUsed came from the structure-keyed auto-tuner
 
 	ws    *lcp.Workspace
 	prevZ []float64 // last solution, length NumVars+NumCons

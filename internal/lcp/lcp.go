@@ -44,19 +44,31 @@ func (p *Problem) Residual(z []float64) float64 {
 
 // ResidualInto is Residual with a caller-supplied scratch w (length N), so
 // the solver's candidate-stop checks stay allocation-free. w is overwritten
-// with Az + q.
+// with Az + q. The SpMV, the +q update, and the componentwise max scan are
+// fused into one row pass; the per-element arithmetic matches the separate
+// sweeps, so the returned residual is bit-identical.
 func (p *Problem) ResidualInto(w, z []float64) float64 {
-	p.A.MulVec(w, z)
-	sparse.Axpy(w, 1, p.Q)
+	a, q := p.A, p.Q
+	if len(w) != a.Rows || len(z) != a.Cols {
+		panic("lcp: ResidualInto dimension mismatch")
+	}
 	res := 0.0
-	for i := range z {
+	for i := 0; i < a.Rows; i++ {
+		s := 0.0
+		cols := a.ColIdx[a.RowPtr[i]:a.RowPtr[i+1]]
+		vals := a.Val[a.RowPtr[i]:a.RowPtr[i+1]]
+		for k, c := range cols {
+			s += vals[k] * z[c]
+		}
+		wi := s + q[i]
+		w[i] = wi
 		if v := -z[i]; v > res {
 			res = v
 		}
-		if v := -w[i]; v > res {
+		if v := -wi; v > res {
 			res = v
 		}
-		if v := math.Abs(math.Min(z[i], w[i])); v > res {
+		if v := math.Abs(math.Min(z[i], wi)); v > res {
 			res = v
 		}
 	}

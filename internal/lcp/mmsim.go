@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"runtime/pprof"
 
 	"mclg/internal/mclgerr"
 	"mclg/internal/par"
@@ -42,6 +43,18 @@ type Options struct {
 	// scaled Ω); the residual check makes termination sound at the cost of
 	// one extra matrix-vector product per candidate stop.
 	ResidualTol float64
+
+	// CheckEvery strides the residual verification: after a candidate stop
+	// (dz < Eps) fails its residual check, the next check runs only once
+	// CheckEvery further iterations have passed, instead of on every
+	// subsequent candidate. The first candidate stop is always checked, and
+	// convergence is never declared without a passing residual check, so
+	// striding can only delay the stop — it can never accept an iterate the
+	// per-iteration check would reject. 0 derives the stride from the
+	// problem structure (the residual-to-iteration cost ratio, a pure
+	// function of n and nnz(A)); 1 reproduces the legacy check-every-
+	// candidate behavior.
+	CheckEvery int
 	// OnIter, if non-nil, is invoked after every iteration with the
 	// iteration index and the current z-step norm; used by convergence
 	// studies and progress reporting.
@@ -136,6 +149,20 @@ type Solver struct {
 	omega []float64
 	n     int
 	k     int // completed iterations
+
+	// chunks pre-splits A's row range at grain boundaries so the fused
+	// rhs pass never re-derives row pointers; the boundaries are a pure
+	// function of the matrix structure, keeping every worker count
+	// bit-identical (see sparse.RowChunks).
+	chunks *sparse.RowChunks
+	// needAbs marks that absS does not yet hold |s| for the upcoming
+	// iteration: true before the first step (and after reseeding), false
+	// afterwards because the fused z-update pass writes |s| as a
+	// by-product.
+	needAbs bool
+
+	resStride int // iterations between residual checks after a failed one
+	lastResK  int // iteration count at the last residual check (0 = never)
 }
 
 // NewSolver validates the instance and prepares a solver positioned before
@@ -154,7 +181,13 @@ func NewSolver(p *Problem, sp Splitting, opts Options) (*Solver, error) {
 	if ws, ok := sp.(WorkerSettable); ok {
 		ws.SetWorkers(o.Workers)
 	}
-	sv := &Solver{p: p, sp: sp, o: o, n: n, omega: sp.Omega()}
+	sv := &Solver{p: p, sp: sp, o: o, n: n, omega: sp.Omega(), needAbs: true}
+	sv.chunks = p.A.RowChunks(0)
+	if o.CheckEvery > 0 {
+		sv.resStride = o.CheckEvery
+	} else {
+		sv.resStride = residualStride(p)
+	}
 	if opts.Workspace != nil {
 		sv.ws = opts.Workspace
 		sv.ws.Ensure(n)
@@ -198,7 +231,57 @@ func (sv *Solver) Z() []float64 { return sv.ws.z }
 // ||z⁽ᵏ⁾ − z⁽ᵏ⁻¹⁾||∞. It performs no allocations when Workers resolves to
 // 1: the serial branch calls the closure-free scalar kernels, while the
 // parallel branch shards through internal/par with bit-identical arithmetic.
+//
+// The iteration body is fused into three sweeps (plus the splitting's own
+// solves): the modulus rhs pass folds the Ω|s|, −A|s|, and −γq updates into
+// one traversal of A's pre-chunked rows; the z pass folds the modulus
+// back-transform, the finiteness scan, the ‖Δz‖∞ reduction, and the capture
+// of |s| for the NEXT iteration's rhs pass into one traversal; and the
+// zPrev bookkeeping is a buffer swap instead of a copy. Every per-element
+// operation keeps the unfused sequence's order, so iterates are
+// bit-identical to stepUnfused (pinned by TestFusedStepBitIdentical).
 func (sv *Solver) Step() (float64, error) {
+	ws, o := sv.ws, &sv.o
+	workers := o.Workers
+	if sv.needAbs {
+		// First iteration (or fresh seed): |s| has not been captured by a
+		// previous fused z pass yet.
+		sparse.AbsP(workers, ws.absS, ws.s)
+		sv.needAbs = false
+	}
+	// rhs = N s + Ω|s| − A|s| − γ q
+	sv.sp.ApplyN(ws.rhs, ws.s)
+	sv.p.A.FusedModulusRHS(workers, sv.chunks, ws.rhs, sv.omega, ws.absS, sv.p.Q, o.Gamma)
+
+	sv.sp.SolveMOmega(ws.sNext, ws.rhs)
+	ws.s, ws.sNext = ws.sNext, ws.s
+
+	// Ping-pong z/zPrev: the previous iterate stays in place and the new one
+	// is written into the other buffer, replacing the full-length copy the
+	// unfused step paid. Contents after the swap are identical to
+	// copy-then-overwrite.
+	zNew, zOld := ws.z, ws.zPrev
+	if sv.k > 0 {
+		zNew, zOld = ws.zPrev, ws.z
+	}
+	dz, ok := sparse.FusedZUpdate(workers, zNew, zOld, ws.s, ws.absS, o.Gamma)
+	if sv.k > 0 {
+		ws.z, ws.zPrev = zNew, zOld
+	}
+	if !ok {
+		return 0, ErrDiverged
+	}
+	sv.k++
+	return dz, nil
+}
+
+// stepUnfused is the pre-fusion iteration body, kept verbatim as the
+// executable specification of one MMSIM step: the property tests drive a
+// solver through it and require the fused Step to reproduce the z history
+// bit for bit at every worker count. It maintains the same workspace
+// invariants as Step (including the |s| capture for the fused rhs pass, so
+// the two can even be interleaved on one solver).
+func (sv *Solver) stepUnfused() (float64, error) {
 	ws, o, n := sv.ws, &sv.o, sv.n
 	workers := o.Workers
 	serial := par.Resolve(workers) <= 1
@@ -257,6 +340,14 @@ func (sv *Solver) Step() (float64, error) {
 			}
 		})
 	}
+	// Maintain Step's workspace invariant: absS holds |s| of the new
+	// iterate so a following fused Step needs no standalone Abs pass.
+	if serial {
+		sparse.Abs(ws.absS, ws.s)
+	} else {
+		sparse.AbsP(workers, ws.absS, ws.s)
+	}
+	sv.needAbs = false
 	if !finite(ws.z) {
 		return 0, ErrDiverged
 	}
@@ -270,12 +361,59 @@ func (sv *Solver) Step() (float64, error) {
 	return dz, nil
 }
 
+// residualStride derives the K between residual verifications from the
+// problem structure alone: one residual costs about one SpMV over A plus a
+// 3n scan, an iteration costs about two SpMV-equivalents plus the splitting
+// solves and three vector passes. K is chosen so strided checking adds at
+// most ~25% to the convergence tail (K ≈ ⌈4·resCost/iterCost⌉ + 1) and is
+// clamped to [2, 8]. Deterministic in (n, nnz), so every run — and every
+// worker count — strides identically.
+func residualStride(p *Problem) int {
+	n := p.N()
+	if n == 0 {
+		return 2
+	}
+	nnz := p.A.NNZ()
+	resCost := nnz + 3*n
+	iterCost := 3*nnz + 10*n
+	k := 1 + (4*resCost+iterCost-1)/iterCost
+	if k < 2 {
+		k = 2
+	}
+	if k > 8 {
+		k = 8
+	}
+	return k
+}
+
+// pprof labels attributing CPU samples to the solve stages (goroutines
+// spawned by internal/par inherit the caller's label set, so the fused
+// kernels' shards are attributed too). Visible via mclgd -pprof.
+var (
+	labelsIterate  = pprof.Labels("mclg_stage", "mmsim-fused")
+	labelsResidual = pprof.Labels("mclg_stage", "mmsim-residual")
+)
+
 // Run drives Step until convergence, divergence, iteration exhaustion, or
 // cancellation, reproducing the classic MMSIMContext loop bit for bit. When
 // the solver owns a pooled workspace, Result.Z is detached from it before
 // the workspace can return to the pool; with an explicit Options.Workspace,
 // Result.Z aliases the workspace.
-func (sv *Solver) Run(ctx context.Context) (*Result, error) {
+//
+// Residual verification is strided (Options.CheckEvery): the first candidate
+// stop always runs the check, but after a failed check the next one waits
+// for resStride further iterations instead of firing on every candidate in
+// the convergence tail. Convergence is never declared without a passing
+// residual check when ResidualTol > 0, so the stride can delay termination
+// but never weaken it.
+func (sv *Solver) Run(ctx context.Context) (res *Result, err error) {
+	pprof.Do(ctx, labelsIterate, func(ctx context.Context) {
+		res, err = sv.run(ctx)
+	})
+	return res, err
+}
+
+func (sv *Solver) run(ctx context.Context) (*Result, error) {
 	o := &sv.o
 	res := &Result{}
 	for sv.k < o.MaxIter {
@@ -295,9 +433,20 @@ func (sv *Solver) Run(ctx context.Context) (*Result, error) {
 			o.OnIter(k, dz)
 		}
 		if k > 0 && dz < o.Eps {
-			if o.ResidualTol <= 0 || sv.p.ResidualInto(sv.ws.w, sv.ws.z) < o.ResidualTol {
+			if o.ResidualTol <= 0 {
 				res.Converged = true
 				break
+			}
+			if sv.lastResK == 0 || sv.k-sv.lastResK >= sv.resStride {
+				sv.lastResK = sv.k
+				var rv float64
+				pprof.Do(ctx, labelsResidual, func(context.Context) {
+					rv = sv.p.ResidualInto(sv.ws.w, sv.ws.z)
+				})
+				if rv < o.ResidualTol {
+					res.Converged = true
+					break
+				}
 			}
 		}
 	}

@@ -158,6 +158,35 @@ func ReduceMax(workers, n, grain int, fn func(lo, hi int) float64) float64 {
 	return m
 }
 
+// ReduceMaxOK is ReduceMax for kernels that fuse a validity scan into the
+// same loop body: each chunk produces a max partial plus a boolean (typically
+// "every value this chunk wrote is finite"). Partials combine in chunk order
+// with max, flags combine with AND — both order-insensitive — so the result
+// is bit-identical to a serial scan at any worker count. Returns (0, true)
+// for n <= 0.
+func ReduceMaxOK(workers, n, grain int, fn func(lo, hi int) (float64, bool)) (float64, bool) {
+	if n <= 0 {
+		return 0, true
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	chunks := (n + grain - 1) / grain
+	partials := make([]float64, chunks)
+	oks := make([]bool, chunks)
+	For(workers, n, grain, func(lo, hi int) {
+		partials[lo/grain], oks[lo/grain] = fn(lo, hi)
+	})
+	m, ok := partials[0], oks[0]
+	for c := 1; c < chunks; c++ {
+		if partials[c] > m {
+			m = partials[c]
+		}
+		ok = ok && oks[c]
+	}
+	return m, ok
+}
+
 // ReduceErr runs fn over fixed chunks and returns the error produced by the
 // lowest-indexed chunk (the same error a serial left-to-right scan would
 // surface first), or nil. fn should stop at its first error so the reported

@@ -33,6 +33,7 @@ type OptionsJSON struct {
 	Eps        float64 `json:"eps,omitempty"`
 	MaxIter    int     `json:"max_iter,omitempty"`
 	AutoTheta  bool    `json:"autotheta,omitempty"`
+	AutoTune   bool    `json:"autotune,omitempty"`
 	BoundRight bool    `json:"boundright,omitempty"`
 	// Workers shards the solver's hot stages. It deliberately does NOT
 	// enter the cache key: the parallel hot path is bit-deterministic, so
@@ -179,6 +180,7 @@ func (r *Request) coreOptions() core.Options {
 	if j := r.Options; j != nil {
 		o.Lambda, o.Beta, o.Theta, o.Eps = j.Lambda, j.Beta, j.Theta, j.Eps
 		o.MaxIter, o.AutoTheta, o.BoundRight, o.Workers = j.MaxIter, j.AutoTheta, j.BoundRight, j.Workers
+		o.AutoTune = j.AutoTune
 	}
 	return core.New(o).Opts
 }
@@ -193,8 +195,8 @@ func (r *Request) key() string {
 	o := r.coreOptions()
 	fmt.Fprintf(h, "method=%s|resilient=%v|audit=%v|windows=%v|window_rows=%d|",
 		r.Method, r.Resilient, r.Audit, r.Windows, r.WindowRows)
-	fmt.Fprintf(h, "lambda=%g|beta=%g|theta=%g|gamma=%g|eps=%g|maxiter=%d|restol=%g|autotheta=%v|boundright=%v|",
-		o.Lambda, o.Beta, o.Theta, o.Gamma, o.Eps, o.MaxIter, o.ResidualTol, o.AutoTheta, o.BoundRight)
+	fmt.Fprintf(h, "lambda=%g|beta=%g|theta=%g|gamma=%g|eps=%g|maxiter=%d|restol=%g|autotheta=%v|autotune=%v|boundright=%v|",
+		o.Lambda, o.Beta, o.Theta, o.Gamma, o.Eps, o.MaxIter, o.ResidualTol, o.AutoTheta, o.AutoTune, o.BoundRight)
 	if r.Bench != "" {
 		fmt.Fprintf(h, "bench=%s@%g", r.Bench, r.Scale)
 	} else {
@@ -226,8 +228,8 @@ func (r *Request) topoKey() string {
 	h := sha256.New()
 	o := r.coreOptions()
 	fmt.Fprintf(h, "method=%s|resilient=%v|", r.Method, r.Resilient)
-	fmt.Fprintf(h, "lambda=%g|beta=%g|theta=%g|autotheta=%v|boundright=%v|",
-		o.Lambda, o.Beta, o.Theta, o.AutoTheta, o.BoundRight)
+	fmt.Fprintf(h, "lambda=%g|beta=%g|theta=%g|autotheta=%v|autotune=%v|boundright=%v|",
+		o.Lambda, o.Beta, o.Theta, o.AutoTheta, o.AutoTune, o.BoundRight)
 	if r.Bench != "" {
 		fmt.Fprintf(h, "bench=%s@%g", r.Bench, r.Scale)
 	} else {

@@ -1,0 +1,55 @@
+package sparse
+
+// RowChunks is a precomputed partition of a CSR matrix's row range into
+// contiguous chunks of roughly equal stored-entry count. The fused MMSIM
+// kernels iterate chunks instead of re-deriving row ranges per call, and the
+// boundaries depend only on the matrix structure and the target — never on
+// the worker count — so any parallel schedule over the chunks reproduces the
+// serial result bit for bit (each chunk owns a disjoint row range).
+type RowChunks struct {
+	// Bounds holds chunk boundaries in row space: chunk c covers rows
+	// [Bounds[c], Bounds[c+1]). Bounds[0] == 0 and Bounds[len-1] == Rows.
+	Bounds []int
+	// NnzStart[c] == RowPtr[Bounds[c]]: where chunk c's entries begin, so
+	// kernels can slice Val/ColIdx without touching RowPtr again.
+	NnzStart []int
+}
+
+// NumChunks returns how many row chunks the partition holds.
+func (rc *RowChunks) NumChunks() int { return len(rc.Bounds) - 1 }
+
+// DefaultChunkNNZ is the stored-entry budget per fused-kernel chunk. With the
+// legalizer's LCP matrix at ~4 entries/row this yields chunks of a few
+// hundred rows — comparable work per chunk to par.GrainRows on the SpMV
+// paths, small enough to load-balance, large enough to amortize dispatch.
+const DefaultChunkNNZ = 2048
+
+// RowChunks partitions the matrix's rows greedily: each chunk accumulates
+// rows until its stored-entry count reaches targetNNZ (minimum one row per
+// chunk, so pathological dense rows still make progress). targetNNZ <= 0
+// selects DefaultChunkNNZ. The result is a pure function of (RowPtr,
+// targetNNZ).
+func (m *CSR) RowChunks(targetNNZ int) *RowChunks {
+	if targetNNZ <= 0 {
+		targetNNZ = DefaultChunkNNZ
+	}
+	rc := &RowChunks{Bounds: []int{0}, NnzStart: []int{0}}
+	if m.Rows == 0 {
+		return rc
+	}
+	// Pre-size for the expected chunk count.
+	est := m.NNZ()/targetNNZ + 2
+	rc.Bounds = make([]int, 1, est)
+	rc.NnzStart = make([]int, 1, est)
+	start := 0
+	for start < m.Rows {
+		end := start + 1
+		for end < m.Rows && m.RowPtr[end+1]-m.RowPtr[start] <= targetNNZ {
+			end++
+		}
+		rc.Bounds = append(rc.Bounds, end)
+		rc.NnzStart = append(rc.NnzStart, m.RowPtr[end])
+		start = end
+	}
+	return rc
+}

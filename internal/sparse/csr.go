@@ -28,13 +28,23 @@ type CSR struct {
 // NNZ returns the number of stored entries.
 func (m *CSR) NNZ() int { return len(m.Val) }
 
-// At returns the entry at (i, j), or 0 if it is not stored.
-// It is O(log nnz(row i)) and intended for tests and debugging, not hot loops.
+// At returns the entry at (i, j), or 0 if it is not stored. Column indices
+// are strictly increasing within a row, so the lookup is a hand-rolled
+// binary search over the row's column slice — O(log nnz(row i)) with no
+// closure dispatch, cheap enough for the audit and debug paths that call it
+// per entry.
 func (m *CSR) At(i, j int) float64 {
 	lo, hi := m.RowPtr[i], m.RowPtr[i+1]
-	k := lo + sort.SearchInts(m.ColIdx[lo:hi], j)
-	if k < hi && m.ColIdx[k] == j {
-		return m.Val[k]
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if m.ColIdx[mid] < j {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < m.RowPtr[i+1] && m.ColIdx[lo] == j {
+		return m.Val[lo]
 	}
 	return 0
 }
@@ -48,8 +58,11 @@ func (m *CSR) MulVec(dst, x []float64) {
 	}
 	for i := 0; i < m.Rows; i++ {
 		s := 0.0
-		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
-			s += m.Val[k] * x[m.ColIdx[k]]
+		cols := m.ColIdx[m.RowPtr[i]:m.RowPtr[i+1]]
+		vals := m.Val[m.RowPtr[i]:m.RowPtr[i+1]]
+		vals = vals[:len(cols)]
+		for k, c := range cols {
+			s += vals[k] * x[c]
 		}
 		dst[i] = s
 	}
@@ -83,8 +96,11 @@ func (m *CSR) AddMulVec(dst, x []float64, alpha float64) {
 	}
 	for i := 0; i < m.Rows; i++ {
 		s := 0.0
-		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
-			s += m.Val[k] * x[m.ColIdx[k]]
+		cols := m.ColIdx[m.RowPtr[i]:m.RowPtr[i+1]]
+		vals := m.Val[m.RowPtr[i]:m.RowPtr[i+1]]
+		vals = vals[:len(cols)]
+		for k, c := range cols {
+			s += vals[k] * x[c]
 		}
 		dst[i] += alpha * s
 	}

@@ -83,8 +83,11 @@ func (m *CSR) MulVecP(workers int, dst, x []float64) {
 	par.For(workers, m.Rows, par.GrainRows, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			s := 0.0
-			for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
-				s += m.Val[k] * x[m.ColIdx[k]]
+			cols := m.ColIdx[m.RowPtr[i]:m.RowPtr[i+1]]
+			vals := m.Val[m.RowPtr[i]:m.RowPtr[i+1]]
+			vals = vals[:len(cols)]
+			for k, c := range cols {
+				s += vals[k] * x[c]
 			}
 			dst[i] = s
 		}
@@ -103,8 +106,11 @@ func (m *CSR) AddMulVecP(workers int, dst, x []float64, alpha float64) {
 	par.For(workers, m.Rows, par.GrainRows, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			s := 0.0
-			for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
-				s += m.Val[k] * x[m.ColIdx[k]]
+			cols := m.ColIdx[m.RowPtr[i]:m.RowPtr[i+1]]
+			vals := m.Val[m.RowPtr[i]:m.RowPtr[i+1]]
+			vals = vals[:len(cols)]
+			for k, c := range cols {
+				s += vals[k] * x[c]
 			}
 			dst[i] += alpha * s
 		}
@@ -119,20 +125,26 @@ func (t *Tridiag) MulVecP(workers int, dst, x []float64) {
 	if len(dst) != n || len(x) != n {
 		panic("sparse: Tridiag.MulVec dimension mismatch")
 	}
-	if par.Resolve(workers) <= 1 {
+	if par.Resolve(workers) <= 1 || n == 1 {
 		t.MulVec(dst, x)
 		return
 	}
+	diag, sub, sup := t.Diag, t.Sub, t.Sup
 	par.For(workers, n, par.GrainVec, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			s := t.Diag[i] * x[i]
-			if i > 0 {
-				s += t.Sub[i] * x[i-1]
-			}
-			if i < n-1 {
-				s += t.Sup[i] * x[i+1]
-			}
-			dst[i] = s
+		i := lo
+		if i == 0 {
+			dst[0] = diag[0]*x[0] + sup[0]*x[1]
+			i = 1
+		}
+		end := hi
+		if end == n {
+			end = n - 1
+		}
+		for ; i < end; i++ {
+			dst[i] = diag[i]*x[i] + sub[i]*x[i-1] + sup[i]*x[i+1]
+		}
+		if hi == n {
+			dst[n-1] = diag[n-1]*x[n-1] + sub[n-1]*x[n-2]
 		}
 	})
 }
@@ -173,8 +185,12 @@ func (s *TridiagSolver) SolveP(workers int, dst, rhs []float64) {
 	}
 	segs := s.Segments()
 	nBlocks := len(segs) - 1
-	if par.Resolve(workers) <= 1 || nBlocks <= 1 {
+	if nBlocks <= 1 {
 		s.Solve(dst, rhs)
+		return
+	}
+	if par.Resolve(workers) <= 1 {
+		s.solveSegmentsInterleaved(segs, dst, rhs)
 		return
 	}
 	par.For(workers, nBlocks, 8, func(lo, hi int) {
@@ -184,15 +200,87 @@ func (s *TridiagSolver) SolveP(workers int, dst, rhs []float64) {
 	})
 }
 
+// solveSegmentsInterleaved runs the Thomas sweeps on independent blocks four
+// at a time, interleaving their recurrences so the four division chains of
+// the back substitutions overlap in the pipeline instead of serializing —
+// the sweeps are latency-bound (each element's divide waits on the previous
+// element's), and independent blocks are the only instruction-level
+// parallelism a bit-exact solve can exploit. Every block performs exactly
+// the arithmetic solveSegment would, in the same per-block order, so the
+// result is identical to the sharded and per-segment paths for any
+// interleaving.
+func (s *TridiagSolver) solveSegmentsInterleaved(segs []int, dst, rhs []float64) {
+	low, diag, sup := s.low, s.diag, s.sup
+	nb := len(segs) - 1
+	b := 0
+	for ; b+4 <= nb; b += 4 {
+		a0, a1 := segs[b], segs[b+1]
+		b0, b1 := segs[b+1], segs[b+2]
+		c0, c1 := segs[b+2], segs[b+3]
+		d0, d1 := segs[b+3], segs[b+4]
+		// Forward elimination, four chains in lockstep.
+		dst[a0], dst[b0], dst[c0], dst[d0] = rhs[a0], rhs[b0], rhs[c0], rhs[d0]
+		ia, ib, ic, id := a0+1, b0+1, c0+1, d0+1
+		for ia < a1 && ib < b1 && ic < c1 && id < d1 {
+			dst[ia] = rhs[ia] - low[ia]*dst[ia-1]
+			dst[ib] = rhs[ib] - low[ib]*dst[ib-1]
+			dst[ic] = rhs[ic] - low[ic]*dst[ic-1]
+			dst[id] = rhs[id] - low[id]*dst[id-1]
+			ia, ib, ic, id = ia+1, ib+1, ic+1, id+1
+		}
+		for ; ia < a1; ia++ {
+			dst[ia] = rhs[ia] - low[ia]*dst[ia-1]
+		}
+		for ; ib < b1; ib++ {
+			dst[ib] = rhs[ib] - low[ib]*dst[ib-1]
+		}
+		for ; ic < c1; ic++ {
+			dst[ic] = rhs[ic] - low[ic]*dst[ic-1]
+		}
+		for ; id < d1; id++ {
+			dst[id] = rhs[id] - low[id]*dst[id-1]
+		}
+		// Back substitution, four division chains in lockstep.
+		dst[a1-1] /= diag[a1-1]
+		dst[b1-1] /= diag[b1-1]
+		dst[c1-1] /= diag[c1-1]
+		dst[d1-1] /= diag[d1-1]
+		ja, jb, jc, jd := a1-2, b1-2, c1-2, d1-2
+		for ja >= a0 && jb >= b0 && jc >= c0 && jd >= d0 {
+			dst[ja] = (dst[ja] - sup[ja]*dst[ja+1]) / diag[ja]
+			dst[jb] = (dst[jb] - sup[jb]*dst[jb+1]) / diag[jb]
+			dst[jc] = (dst[jc] - sup[jc]*dst[jc+1]) / diag[jc]
+			dst[jd] = (dst[jd] - sup[jd]*dst[jd+1]) / diag[jd]
+			ja, jb, jc, jd = ja-1, jb-1, jc-1, jd-1
+		}
+		for ; ja >= a0; ja-- {
+			dst[ja] = (dst[ja] - sup[ja]*dst[ja+1]) / diag[ja]
+		}
+		for ; jb >= b0; jb-- {
+			dst[jb] = (dst[jb] - sup[jb]*dst[jb+1]) / diag[jb]
+		}
+		for ; jc >= c0; jc-- {
+			dst[jc] = (dst[jc] - sup[jc]*dst[jc+1]) / diag[jc]
+		}
+		for ; jd >= d0; jd-- {
+			dst[jd] = (dst[jd] - sup[jd]*dst[jd+1]) / diag[jd]
+		}
+	}
+	for ; b < nb; b++ {
+		s.solveSegment(segs[b], segs[b+1], dst, rhs)
+	}
+}
+
 // solveSegment runs the Thomas sweeps on rows [lo, hi), which must form an
 // independent block (low[lo] == 0 or lo == 0, sup[hi-1] == 0 or hi == n).
 func (s *TridiagSolver) solveSegment(lo, hi int, dst, rhs []float64) {
+	low, diag, sup := s.low, s.diag, s.sup
 	dst[lo] = rhs[lo]
 	for i := lo + 1; i < hi; i++ {
-		dst[i] = rhs[i] - s.low[i]*dst[i-1]
+		dst[i] = rhs[i] - low[i]*dst[i-1]
 	}
-	dst[hi-1] /= s.diag[hi-1]
+	dst[hi-1] /= diag[hi-1]
 	for i := hi - 2; i >= lo; i-- {
-		dst[i] = (dst[i] - s.sup[i]*dst[i+1]) / s.diag[i]
+		dst[i] = (dst[i] - sup[i]*dst[i+1]) / diag[i]
 	}
 }

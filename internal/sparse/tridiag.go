@@ -27,16 +27,21 @@ func (t *Tridiag) MulVec(dst, x []float64) {
 	if len(dst) != n || len(x) != n {
 		panic("sparse: Tridiag.MulVec dimension mismatch")
 	}
-	for i := 0; i < n; i++ {
-		s := t.Diag[i] * x[i]
-		if i > 0 {
-			s += t.Sub[i] * x[i-1]
-		}
-		if i < n-1 {
-			s += t.Sup[i] * x[i+1]
-		}
-		dst[i] = s
+	if n == 0 {
+		return
 	}
+	if n == 1 {
+		dst[0] = t.Diag[0] * x[0]
+		return
+	}
+	// Boundary rows handled outside the loop so the interior is branch-free;
+	// the per-element add order matches the branched form exactly.
+	diag, sub, sup := t.Diag, t.Sub, t.Sup
+	dst[0] = diag[0]*x[0] + sup[0]*x[1]
+	for i := 1; i < n-1; i++ {
+		dst[i] = diag[i]*x[i] + sub[i]*x[i-1] + sup[i]*x[i+1]
+	}
+	dst[n-1] = diag[n-1]*x[n-1] + sub[n-1]*x[n-2]
 }
 
 // Shifted returns t + shift*I as a new matrix.
@@ -118,14 +123,15 @@ func (s *TridiagSolver) Solve(dst, rhs []float64) {
 		return
 	}
 	// Forward elimination: dst holds the modified rhs.
+	low, diag, sup := s.low, s.diag, s.sup
 	dst[0] = rhs[0]
 	for i := 1; i < n; i++ {
-		dst[i] = rhs[i] - s.low[i]*dst[i-1]
+		dst[i] = rhs[i] - low[i]*dst[i-1]
 	}
 	// Back substitution.
-	dst[n-1] /= s.diag[n-1]
+	dst[n-1] /= diag[n-1]
 	for i := n - 2; i >= 0; i-- {
-		dst[i] = (dst[i] - s.sup[i]*dst[i+1]) / s.diag[i]
+		dst[i] = (dst[i] - sup[i]*dst[i+1]) / diag[i]
 	}
 }
 

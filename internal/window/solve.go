@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"runtime/pprof"
 
 	"mclg/internal/baselines/chow"
 	"mclg/internal/core"
@@ -27,6 +28,11 @@ type Result struct {
 	Window   int
 	Cells    []CellPos
 	Degraded bool
+	// WarmReused reports that the solve reused cached factorizations from a
+	// core.WarmState threaded through the cascade's base options (cluster
+	// workers pool warm states per window topology). Warm reuse changes
+	// iteration counts only, never the returned positions.
+	WarmReused bool
 }
 
 // buildSub materializes band b as an independent sub-design: the sub rows
@@ -112,10 +118,13 @@ func poisonSub(sub *design.Design) {
 // within the window.
 func solveSub(ctx context.Context, sub *design.Design, idx []int, b *Band, cascade core.ResilientOptions) (*Result, error) {
 	rl := core.NewResilient(cascade)
-	if _, err := rl.LegalizeContext(ctx, sub); err != nil {
+	rs, err := rl.LegalizeContext(ctx, sub)
+	if err != nil {
 		return nil, err
 	}
-	return extract(sub, idx, b, false), nil
+	res := extract(sub, idx, b, false)
+	res.WarmReused = rs.WarmReused
+	return res, nil
 }
 
 // extract collects the owned cells' positions from a solved sub-design.
@@ -159,7 +168,17 @@ func degradeSub(ctx context.Context, d *design.Design, p *Plan, b *Band) *Result
 // runs the deterministic Tetris allocator as the boundary-reconciliation
 // pass (repairing any cross-band overlap in the context margins), verifies
 // whole-design legality, and only then commits the positions to d.
-func stitch(ctx context.Context, d *design.Design, results []*Result, workers int) error {
+func stitch(ctx context.Context, d *design.Design, results []*Result, workers int) (err error) {
+	// The mclg_stage label separates stitch time from the per-window solves
+	// (labeled mmsim-fused/mmsim-residual by the lcp package) in CPU
+	// profiles; labels propagate to the allocator's worker goroutines.
+	pprof.Do(ctx, pprof.Labels("mclg_stage", "window-stitch"), func(ctx context.Context) {
+		err = stitchLabeled(ctx, d, results, workers)
+	})
+	return err
+}
+
+func stitchLabeled(ctx context.Context, d *design.Design, results []*Result, workers int) error {
 	work := d.Clone()
 	for _, res := range results {
 		if res == nil {
