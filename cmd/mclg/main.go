@@ -72,6 +72,7 @@ func main() {
 		windowsOn  = flag.Bool("windows", false, "fault-isolated windowed legalization: solve per-row-band windows under supervision (retry, hedging, degradation) and stitch deterministically (method ours only)")
 		windowRows = flag.Int("window-rows", 0, "rows per window with -windows (0 = default 16)")
 		hedge      = flag.Float64("hedge", 0, "straggler-hedging quantile in (0,1] with -windows: re-issue the slowest windows once this fraction has completed (0 = off)")
+		exactK     = flag.Int("exact", 0, "with -windows: after stitch, re-solve the K worst-displacement windows with the branch-and-bound exact legalizer and report measured optimality gaps (0 = off)")
 		ecoPath    = flag.String("eco", "", "apply an ECO delta stream (JSON file) to the legal base placement via dirty-window re-legalization, then certify by replay")
 	)
 	flag.Parse()
@@ -90,6 +91,12 @@ func main() {
 	if !*windowsOn && *hedge != 0 {
 		fatal(fmt.Errorf("-hedge requires -windows"))
 	}
+	if !*windowsOn && *exactK != 0 {
+		fatal(fmt.Errorf("-exact requires -windows"))
+	}
+	if *exactK < 0 {
+		fatal(fmt.Errorf("-exact %d must be non-negative", *exactK))
+	}
 	if *ecoPath != "" && (*method != "ours" || *resilient || *auditRun || *windowsOn ||
 		*refineObj != "" || *checkOnly || *runGP || *serverURL != "") {
 		fatal(fmt.Errorf("-eco runs locally with method ours and no other pipeline flags"))
@@ -103,7 +110,7 @@ func main() {
 			serve.OptionsJSON{
 				Lambda: *lambda, Beta: *beta, Theta: *theta, Eps: *eps,
 				AutoTheta: *autoTheta, AutoTune: *autoTune, BoundRight: *boundRight, Workers: *workers,
-			}, *windowsOn, *windowRows, *hedge,
+			}, *windowsOn, *windowRows, *hedge, *exactK,
 			*timeout, *retryN, *outPath, *jsonOut, *runGP || *checkOnly || *refineObj != "")
 		return
 	}
@@ -179,6 +186,7 @@ func main() {
 				Cascade:       core.ResilientOptions{Base: opts},
 				WindowRows:    *windowRows,
 				HedgeQuantile: *hedge,
+				ExactWindows:  *exactK,
 			})
 			if err != nil {
 				fatal(err)
@@ -186,6 +194,16 @@ func main() {
 			winStats = wst
 			fmt.Fprintf(info, "  windows: %d solved of %d (retries %d, hedges won %d/%d, degraded %d)\n",
 				wst.Solved, wst.Windows, wst.Retries, wst.HedgesWon, wst.HedgesIssued, wst.Degraded)
+			if ex := wst.Exact; ex != nil {
+				fmt.Fprintf(info, "  exact: %d refined (%d improved, %d proven optimal, %d skipped), max gap %.3g\n",
+					ex.Selected, ex.Improved, ex.Proven, ex.Skipped, ex.MaxGap)
+				if *verbose {
+					for _, g := range ex.Gaps {
+						fmt.Fprintf(info, "    window %d: %d cells gap=%.3g proven=%v improved=%v maxdisp %.0f -> %.0f\n",
+							g.Window, g.Cells, g.Gap, g.Proven, g.Improved, g.MaxDispBefore, g.MaxDispAfter)
+					}
+				}
+			}
 		} else if *resilient {
 			rs, err := core.NewResilient(core.ResilientOptions{Base: opts}).LegalizeContext(ctx, d)
 			if err != nil {
@@ -256,16 +274,7 @@ func main() {
 	rep := report.FromDesign(d, *method, elapsed)
 	rep.Rung, rep.Attempts = rung, numAttempts
 	if winStats != nil {
-		rep.Windows = &report.WindowStats{
-			Total:        winStats.Windows,
-			Solved:       winStats.Solved,
-			Resumed:      winStats.Resumed,
-			Retries:      winStats.Retries,
-			Panics:       winStats.Panics,
-			HedgesIssued: winStats.HedgesIssued,
-			HedgesWon:    winStats.HedgesWon,
-			Degraded:     winStats.Degraded,
-		}
+		rep.Windows = report.WindowsFromStats(winStats)
 	}
 	if stats != nil {
 		rep.Iterations = stats.Iterations
@@ -321,7 +330,7 @@ func main() {
 // runRemote is the -server flow: submit, report, optionally write the
 // returned placement back as Bookshelf.
 func runRemote(serverURL, auxPath, bench string, scale float64, method string, resilient, auditRun bool,
-	opts serve.OptionsJSON, windows bool, windowRows int, hedge float64,
+	opts serve.OptionsJSON, windows bool, windowRows int, hedge float64, exactK int,
 	timeout time.Duration, retries int, outPath string, jsonOut, localOnlyFlags bool) {
 	if localOnlyFlags {
 		fatal(fmt.Errorf("-gp, -check and -refine run locally and cannot be combined with -server"))
@@ -331,7 +340,7 @@ func runRemote(serverURL, auxPath, bench string, scale float64, method string, r
 	}
 	req, err := remoteRequest(auxPath, bench, scale, method, resilient, auditRun, opts, timeout, outPath != "")
 	if err == nil && windows {
-		req.Windows, req.WindowRows, req.Hedge = true, windowRows, hedge
+		req.Windows, req.WindowRows, req.Hedge, req.Exact = true, windowRows, hedge, exactK
 	}
 	if err != nil {
 		fatal(err)
@@ -354,6 +363,10 @@ func runRemote(serverURL, auxPath, bench string, scale float64, method string, r
 	if ws := rep.Windows; ws != nil {
 		fmt.Fprintf(info, "windows: %d solved + %d resumed of %d (retries %d, hedges won %d/%d, degraded %d)\n",
 			ws.Solved, ws.Resumed, ws.Total, ws.Retries, ws.HedgesWon, ws.HedgesIssued, ws.Degraded)
+		if ex := ws.Exact; ex != nil {
+			fmt.Fprintf(info, "exact: %d refined (%d improved, %d proven optimal, %d skipped), max gap %.3g\n",
+				ex.Selected, ex.Improved, ex.Proven, ex.Skipped, ex.MaxGap)
+		}
 	}
 	if rep.Certificate != nil {
 		fmt.Fprintf(info, "%s\n", rep.Certificate.Summary())

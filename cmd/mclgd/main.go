@@ -52,6 +52,7 @@ func main() {
 		windowsAll   = flag.Bool("windows", false, "run every eligible job (method ours, non-resilient, non-audit) through fault-isolated windowed legalization")
 		windowRows   = flag.Int("window-rows", 0, "default rows per window for windowed jobs (0 = 16)")
 		hedgeQ       = flag.Float64("hedge", 0, "default straggler-hedging quantile in (0,1] for windowed jobs (0 = off)")
+		exactK       = flag.Int("exact", 0, "default exact-refinement window count for windowed jobs: re-solve the K worst windows with the branch-and-bound legalizer after stitch (0 = off)")
 		journalDir   = flag.String("journal-dir", "", "directory for per-job write-ahead window journals; a restarted daemon resumes interrupted windowed jobs from it (empty = journaling off)")
 		ecoDir       = flag.String("eco-dir", "", "directory for durable /v1/eco session delta logs; a restarted daemon replays them to resume live sessions (empty = sessions are memory-only)")
 		ecoSessions  = flag.Int("eco-sessions", 8, "max concurrently open /v1/eco sessions")
@@ -91,6 +92,7 @@ func main() {
 		WindowsAll:        *windowsAll,
 		WindowRows:        *windowRows,
 		HedgeQuantile:     *hedgeQ,
+		ExactWindows:      *exactK,
 		JournalDir:        *journalDir,
 		ECODir:            *ecoDir,
 		ECOSessionCap:     *ecoSessions,

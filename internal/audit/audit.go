@@ -158,6 +158,7 @@ func Run(ctx context.Context, d *design.Design, opts Options) (*Certificate, err
 
 	if p.NumVars > 0 {
 		fillResiduals(cert, p, z)
+		fillGap(cert, p, z[:p.NumVars], prod)
 		if !opts.SkipReference {
 			cert.Reference = crossCheck(ctx, p, z[:p.NumVars], opts)
 		}
@@ -181,7 +182,12 @@ func Run(ctx context.Context, d *design.Design, opts Options) (*Certificate, err
 		cert.PrimalInfeas <= opts.ResidualTol &&
 		cert.DualInfeas <= opts.ResidualTol
 	cert.TheoremTwo = cert.BoundaryCells == 0 || leg.Opts.BoundRight
-	cert.Pass = cert.Legal && cert.Optimal
+	// Pass gates on legality and the differential cross-checks only. Relaxed
+	// optimality is deliberately NOT a pass condition: a legal placement
+	// whose distance from the relaxed optimum is measured (Gap) is a
+	// certified result, not a failure — Optimal stays informative, marking
+	// when the lower bound behind the gap is itself trustworthy.
+	cert.Pass = cert.Legal
 	if r := cert.Reference; r != nil {
 		cert.Pass = cert.Pass && r.Pass
 	}
@@ -241,4 +247,39 @@ func fillResiduals(cert *Certificate, p *core.Problem, z []float64) {
 			cert.BoundaryCells++
 		}
 	}
+}
+
+// fillGap measures the production placement's distance from the relaxed
+// optimum. Both points are scored with the relaxed objective
+// Σ_v (x_v − t_v)² + λ‖Ex‖²: the audit solve x gives the lower bound, the
+// committed placement (whose subcells share their cell's x, so Ex = 0
+// exactly) gives the incumbent. Vertical costs are identical on both sides
+// of the comparison — row assignment happens before the relaxation — so the
+// horizontal objective is the whole story.
+func fillGap(cert *Certificate, p *core.Problem, x []float64, prod *design.Design) {
+	cert.RelaxedObjective = relaxedObjective(p, x)
+	for _, sc := range p.Subcells {
+		dx := (prod.Cells[sc.Cell].X - p.D.Core.Lo.X) - sc.Target
+		cert.PlacementObjective += dx * dx
+	}
+	if gap := cert.PlacementObjective - cert.RelaxedObjective; gap > 0 && cert.PlacementObjective > 0 {
+		cert.Gap = gap / cert.PlacementObjective
+	}
+}
+
+// relaxedObjective evaluates the relaxed problem's objective at x.
+func relaxedObjective(p *core.Problem, x []float64) float64 {
+	f := 0.0
+	for _, sc := range p.Subcells {
+		dv := x[sc.Var] - sc.Target
+		f += dv * dv
+	}
+	if p.E != nil && p.E.Rows > 0 {
+		ex := make([]float64, p.E.Rows)
+		p.E.MulVec(ex, x)
+		for _, v := range ex {
+			f += p.Lambda * v * v
+		}
+	}
+	return f
 }

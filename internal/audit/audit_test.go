@@ -79,6 +79,13 @@ func TestAuditTrio(t *testing.T) {
 				if !cert.Pass {
 					t.Errorf("workers=%d: certificate FAIL: %s", workers, cert.Summary())
 				}
+				if cert.Gap < 0 || cert.Gap > 1 {
+					t.Errorf("workers=%d: gap %g outside [0, 1]", workers, cert.Gap)
+				}
+				if cert.RelaxedObjective <= 0 || cert.PlacementObjective <= 0 {
+					t.Errorf("workers=%d: objectives not measured: relaxed=%g placement=%g",
+						workers, cert.RelaxedObjective, cert.PlacementObjective)
+				}
 				if !cert.Verify() {
 					t.Errorf("workers=%d: certificate hash does not verify", workers)
 				}
@@ -126,6 +133,62 @@ func TestCertificateSealVerify(t *testing.T) {
 	cert.Complementarity *= 2 // tamper
 	if cert.Verify() {
 		t.Error("tampered certificate still verifies")
+	}
+}
+
+// TestPassIndependentOfOptimal pins the Pass semantics: Pass gates on
+// legality (plus the differential cross-checks when enabled), never on
+// relaxed-optimality. A legal placement audited with a deliberately starved
+// solve — Converged and Optimal false, lower bound untrusted — must still
+// Pass while the measured gap is reported. Conflating the two was the old
+// bug: every legal-but-gapped result was reported as a failed audit.
+func TestPassIndependentOfOptimal(t *testing.T) {
+	d := trioDesign(t, "fft_2", 0.004)
+	cert, err := Run(context.Background(), d, Options{
+		MaxIter: 10, SkipBaselines: true, SkipReference: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.Converged {
+		t.Fatal("10-iteration audit solve unexpectedly converged; raise the bar")
+	}
+	if cert.Optimal {
+		t.Error("Optimal = true without convergence")
+	}
+	if !cert.Legal {
+		t.Fatal("production placement not legal — test premise broken")
+	}
+	if !cert.Pass {
+		t.Errorf("Pass = false for a legal placement: %s", cert.Summary())
+	}
+	if cert.Gap < 0 || cert.Gap > 1 {
+		t.Errorf("gap %g outside [0, 1]", cert.Gap)
+	}
+}
+
+// TestGapMeasuresSnappingLoss checks the gap is a real measurement: the
+// placement objective can only sit above the relaxed optimum (up to the
+// conservative clamp), and on a converged audit the reported gap ties the
+// two objectives together exactly.
+func TestGapMeasuresSnappingLoss(t *testing.T) {
+	d := trioDesign(t, "des_perf_1", 0.004)
+	cert, err := Run(context.Background(), d, Options{SkipBaselines: true, SkipReference: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cert.Optimal {
+		t.Fatalf("audit solve not optimal: %s", cert.Summary())
+	}
+	if cert.PlacementObjective < cert.RelaxedObjective {
+		t.Errorf("placement objective %g below the relaxed lower bound %g",
+			cert.PlacementObjective, cert.RelaxedObjective)
+	}
+	if cert.Gap > 0 {
+		want := (cert.PlacementObjective - cert.RelaxedObjective) / cert.PlacementObjective
+		if diff := cert.Gap - want; diff > 1e-12 || diff < -1e-12 {
+			t.Errorf("Gap = %g, want %g from the sealed objectives", cert.Gap, want)
+		}
 	}
 }
 

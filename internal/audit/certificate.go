@@ -34,6 +34,21 @@ type Certificate struct {
 	// boundary (or the exact boundary constraints were in the LCP).
 	TheoremTwo bool `json:"theorem_two"`
 
+	// Measured optimality gap — the headline number. RelaxedObjective is
+	// the relaxed problem's objective at the tight audit solve, a lower
+	// bound on any placement in the order-preserving class Theorem 2
+	// certifies; PlacementObjective is the same objective evaluated at the
+	// committed production placement. Gap is their normalized difference
+	// (placement − relaxed) / placement, clamped to [0, 1]: zero means the
+	// production placement provably attains the relaxed optimum, a positive
+	// value measures exactly how much the site snapping and repair passes
+	// gave up. (A repair pass that reorders cells can leave the
+	// order-preserving class; the clamp keeps the gap a conservative
+	// distance-to-bound in that case.)
+	RelaxedObjective   float64 `json:"relaxed_objective"`
+	PlacementObjective float64 `json:"placement_objective"`
+	Gap                float64 `json:"gap"`
+
 	// Differential cross-checks.
 	Reference *Reference `json:"reference,omitempty"`
 	Baselines []Baseline `json:"baselines,omitempty"`
@@ -104,14 +119,16 @@ func (c *Certificate) digest() (string, error) {
 	return hex.EncodeToString(sum[:]), nil
 }
 
-// Summary renders the one-line human-readable verdict.
+// Summary renders the one-line human-readable verdict. The measured gap
+// leads: it replaces the old binary optimal/theorem-two verdict as the
+// headline number.
 func (c *Certificate) Summary() string {
 	verdict := "FAIL"
 	if c.Pass {
 		verdict = "PASS"
 	}
-	s := fmt.Sprintf("audit %s: %s — legal=%v optimal=%v compl=%.3g primal=%.3g dual=%.3g subcell=%.3g boundary=%d",
-		c.Design, verdict, c.Legal, c.Optimal,
+	s := fmt.Sprintf("audit %s: %s — gap=%.3g legal=%v optimal=%v compl=%.3g primal=%.3g dual=%.3g subcell=%.3g boundary=%d",
+		c.Design, verdict, c.Gap, c.Legal, c.Optimal,
 		c.Complementarity, c.PrimalInfeas, c.DualInfeas, c.SubcellResidual, c.BoundaryCells)
 	if c.Reference != nil {
 		if c.Reference.Err != "" {

@@ -176,7 +176,14 @@ func Solve(p *Problem, x0 []float64) ([]float64, error) {
 // working set.
 func eqStep(p *Problem, grad []float64, ws []int) (d, lambda []float64, err error) {
 	n := len(p.P)
-	k := len(ws)
+	// Degenerate working sets are routine, not exceptional: stacked bounds
+	// and constraint-graph rows on the same variables produce duplicate or
+	// linearly dependent G_W rows, which make the KKT matrix singular. Keep
+	// only a maximal independent subset; the dropped rows' multipliers are
+	// zero (their constraints are implied by the kept ones), so the caller's
+	// working set and multiplier vector stay aligned.
+	keep := independentRows(p.G, ws)
+	k := len(keep)
 	kkt := dense.New(n+k, n+k)
 	rhs := make([]float64, n+k)
 	for i := 0; i < n; i++ {
@@ -187,7 +194,8 @@ func eqStep(p *Problem, grad []float64, ws []int) (d, lambda []float64, err erro
 	}
 	// KKT system [[H, −G_Wᵀ], [G_W, 0]] [d; λ] = [−grad; 0] so that at d = 0
 	// the multipliers satisfy ∇f = G_Wᵀ λ with λ ≥ 0 at an optimum.
-	for a, ci := range ws {
+	for a, wi := range keep {
+		ci := ws[wi]
 		for j := 0; j < n; j++ {
 			g := p.G.At(ci, j)
 			kkt.Set(i(n, a), j, g)
@@ -196,14 +204,58 @@ func eqStep(p *Problem, grad []float64, ws []int) (d, lambda []float64, err erro
 	}
 	sol, err := dense.Solve(kkt, rhs)
 	if err != nil {
-		// A degenerate working set (linearly dependent rows) can make the
-		// KKT matrix singular; perturb by dropping the last constraint.
-		if k > 0 {
-			return eqStep(p, grad, ws[:k-1])
-		}
 		return nil, nil, err
 	}
-	return sol[:n], sol[n:], nil
+	lambda = make([]float64, len(ws))
+	for a, wi := range keep {
+		lambda[wi] = sol[n+a]
+	}
+	return sol[:n], lambda, nil
+}
+
+// independentRows selects a maximal linearly independent subset of the
+// working-set rows of G by modified Gram-Schmidt, returning indices into ws.
+// Earlier rows win ties, so which duplicates are dropped is deterministic.
+func independentRows(g *dense.Matrix, ws []int) []int {
+	if len(ws) == 0 {
+		return nil
+	}
+	n := g.C
+	var keep []int
+	var basis [][]float64 // orthonormal rows spanning the kept set
+	v := make([]float64, n)
+	for wi, ci := range ws {
+		norm0 := 0.0
+		for j := 0; j < n; j++ {
+			v[j] = g.At(ci, j)
+			norm0 += v[j] * v[j]
+		}
+		norm0 = math.Sqrt(norm0)
+		for _, b := range basis {
+			dot := 0.0
+			for j := 0; j < n; j++ {
+				dot += v[j] * b[j]
+			}
+			for j := 0; j < n; j++ {
+				v[j] -= dot * b[j]
+			}
+		}
+		norm := 0.0
+		for j := 0; j < n; j++ {
+			norm += v[j] * v[j]
+		}
+		norm = math.Sqrt(norm)
+		if norm <= 1e-10*(1+norm0) {
+			continue // dependent on the rows already kept
+		}
+		b := make([]float64, n)
+		for j := 0; j < n; j++ {
+			b[j] = v[j] / norm
+		}
+		basis = append(basis, b)
+		keep = append(keep, wi)
+	}
+	return keep
 }
 
 func i(n, a int) int { return n + a }

@@ -173,6 +173,100 @@ func TestRandomChainProblems(t *testing.T) {
 	}
 }
 
+// Degenerate active sets — duplicate or linearly dependent constraint rows —
+// arise whenever a variable bound coincides with a constraint-graph row (the
+// exact window relaxations build both). The KKT system is then singular; the
+// solver must drop only the dependent rows, never an independent one, and
+// must keep the multiplier vector aligned with the working set. Before the
+// fix, eqStep recursively dropped the *last* working-set row and returned a
+// short multiplier vector, which either panicked the multiplier scan or let
+// the step cross a still-active independent constraint.
+func TestDuplicateActiveRows(t *testing.T) {
+	// min ½(x−3)² s.t. x ≥ 0 stated twice, x ≤ 1. Start at x = 0: both
+	// duplicates are active, so the first KKT solve is singular.
+	p := &Problem{
+		H:  identity(1),
+		P:  []float64{-3},
+		G:  dense.FromRows([][]float64{{1}, {1}, {-1}}),
+		Hv: []float64{0, 0, -1},
+	}
+	x, err := Solve(p, []float64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1) > 1e-8 {
+		t.Errorf("x = %g, want 1", x[0])
+	}
+}
+
+func TestDependentRowsDoNotEvictIndependentConstraint(t *testing.T) {
+	// min ½‖x − (3,3)‖² with working set [x0 ≥ 0, x0 ≥ 0 (dup), x1 ≤ 1] all
+	// active at the start (0, 1). Dropping the last row — the only
+	// constraint on x1 — lets the step march x1 past its bound while the
+	// blocking loop skips it as "active". The optimum is (3, 1).
+	p := &Problem{
+		H:  identity(2),
+		P:  []float64{-3, -3},
+		G:  dense.FromRows([][]float64{{1, 0}, {1, 0}, {0, -1}}),
+		Hv: []float64{0, 0, -1},
+	}
+	x, err := Solve(p, []float64{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Feasible(x, 1e-7) {
+		t.Fatalf("solution %v violates constraints", x)
+	}
+	if math.Abs(x[0]-3) > 1e-8 || math.Abs(x[1]-1) > 1e-8 {
+		t.Errorf("x = %v, want [3 1]", x)
+	}
+}
+
+func TestIndependentRows(t *testing.T) {
+	g := dense.FromRows([][]float64{
+		{1, 0},  // kept
+		{1, 0},  // duplicate of row 0
+		{0, 1},  // kept
+		{1, 1},  // dependent on rows 0 and 2
+		{2, 0},  // scaled duplicate of row 0
+		{1, -1}, // dependent on rows 0 and 2
+	})
+	keep := independentRows(g, []int{0, 1, 2, 3, 4, 5})
+	want := []int{0, 2}
+	if len(keep) != len(want) || keep[0] != want[0] || keep[1] != want[1] {
+		t.Errorf("independentRows = %v, want %v", keep, want)
+	}
+	if got := independentRows(g, nil); got != nil {
+		t.Errorf("independentRows(empty) = %v, want nil", got)
+	}
+}
+
+func TestEqStepMultipliersAlignedWithWorkingSet(t *testing.T) {
+	// With dependent rows in the working set, the returned multiplier slice
+	// must still have one entry per working-set row (zeros for the dropped
+	// duplicates): the caller indexes it by working-set position.
+	p := &Problem{
+		H:  identity(1),
+		P:  []float64{-3},
+		G:  dense.FromRows([][]float64{{1}, {1}}),
+		Hv: []float64{0, 0},
+	}
+	grad := []float64{-3} // at x = 0
+	d, lambda, err := eqStep(p, grad, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if normInf(d) > 1e-10 {
+		t.Errorf("d = %v, want 0 (x0 pinned by the working set)", d)
+	}
+	if len(lambda) != 2 {
+		t.Fatalf("lambda has length %d, want 2", len(lambda))
+	}
+	if math.Abs(lambda[0]+3) > 1e-8 || lambda[1] != 0 {
+		t.Errorf("lambda = %v, want [-3 0]", lambda)
+	}
+}
+
 func neg(v []float64) []float64 {
 	out := make([]float64, len(v))
 	for i := range v {

@@ -81,6 +81,12 @@ type Request struct {
 	// Result-affecting (it changes the partition), so it enters the cache
 	// key after resolution.
 	WindowRows int `json:"window_rows,omitempty"`
+	// Exact asks for the exact refinement post-pass on a windowed job: after
+	// stitch, the Exact windows with the worst committed displacement are
+	// re-solved with the branch-and-bound legalizer and their measured
+	// optimality gaps are reported. Result-affecting (verified improvements
+	// commit), so it enters the cache key; 0 disables the pass.
+	Exact int `json:"exact,omitempty"`
 	// Hedge sets the straggler-hedging quantile in (0,1]; 0 takes the
 	// server default. Like Workers it is result-neutral — hedged and
 	// primary solves compute identical placements — so it does NOT enter
@@ -125,11 +131,14 @@ func (r *Request) validate() error {
 	if r.Windows && (r.Method != "ours" || r.Resilient || r.Audit) {
 		return mclgerr.Invalidf("serve: windowed mode requires method \"ours\" without resilient or audit")
 	}
-	if !r.Windows && (r.WindowRows != 0 || r.Hedge != 0) {
-		return mclgerr.Invalidf("serve: window_rows and hedge require \"windows\": true")
+	if !r.Windows && (r.WindowRows != 0 || r.Hedge != 0 || r.Exact != 0) {
+		return mclgerr.Invalidf("serve: window_rows, hedge and exact require \"windows\": true")
 	}
 	if r.WindowRows < 0 {
 		return mclgerr.Invalidf("serve: window_rows %d must be non-negative", r.WindowRows)
+	}
+	if r.Exact < 0 {
+		return mclgerr.Invalidf("serve: exact %d must be non-negative", r.Exact)
 	}
 	if r.Hedge < 0 || r.Hedge > 1 {
 		return mclgerr.Invalidf("serve: hedge %g out of range [0, 1]", r.Hedge)
@@ -193,8 +202,8 @@ func (r *Request) coreOptions() core.Options {
 func (r *Request) key() string {
 	h := sha256.New()
 	o := r.coreOptions()
-	fmt.Fprintf(h, "method=%s|resilient=%v|audit=%v|windows=%v|window_rows=%d|",
-		r.Method, r.Resilient, r.Audit, r.Windows, r.WindowRows)
+	fmt.Fprintf(h, "method=%s|resilient=%v|audit=%v|windows=%v|window_rows=%d|exact=%d|",
+		r.Method, r.Resilient, r.Audit, r.Windows, r.WindowRows, r.Exact)
 	fmt.Fprintf(h, "lambda=%g|beta=%g|theta=%g|gamma=%g|eps=%g|maxiter=%d|restol=%g|autotheta=%v|autotune=%v|boundright=%v|",
 		o.Lambda, o.Beta, o.Theta, o.Gamma, o.Eps, o.MaxIter, o.ResidualTol, o.AutoTheta, o.AutoTune, o.BoundRight)
 	if r.Bench != "" {

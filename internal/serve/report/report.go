@@ -11,6 +11,7 @@ import (
 	"mclg/internal/design"
 	"mclg/internal/metrics"
 	"mclg/internal/regress"
+	"mclg/internal/window"
 )
 
 // Placement carries the final cell state as parallel arrays indexed by cell
@@ -91,6 +92,74 @@ type WindowStats struct {
 	HedgesIssued int `json:"hedges_issued,omitempty"`
 	HedgesWon    int `json:"hedges_won,omitempty"`
 	Degraded     int `json:"degraded,omitempty"`
+	// Exact carries the exact refinement post-pass trace, present when the
+	// run asked for it ("exact": K on the wire, -exact locally).
+	Exact *ExactStats `json:"exact,omitempty"`
+}
+
+// ExactStats is the exact refinement post-pass trace: how many of the
+// worst-displaced windows were re-solved with the branch-and-bound legalizer,
+// how many strictly improved or were proven optimal, and the per-window
+// measured optimality gaps.
+type ExactStats struct {
+	Selected int         `json:"selected"`
+	Improved int         `json:"improved"`
+	Proven   int         `json:"proven"`
+	Skipped  int         `json:"skipped,omitempty"`
+	MaxGap   float64     `json:"max_gap"`
+	Gaps     []WindowGap `json:"gaps,omitempty"`
+}
+
+// WindowGap is one refined window's measured outcome. Gap is the normalized
+// distance (cost − lower bound)/cost; Proven marks gaps that are exact (the
+// search space was exhausted) rather than budget-truncated.
+type WindowGap struct {
+	Window        int     `json:"window"`
+	Cells         int     `json:"cells"`
+	Gap           float64 `json:"gap"`
+	Proven        bool    `json:"proven"`
+	Improved      bool    `json:"improved"`
+	MaxDispBefore float64 `json:"max_disp_before"`
+	MaxDispAfter  float64 `json:"max_disp_after"`
+}
+
+// WindowsFromStats converts a windowed run's supervision stats into the wire
+// schema, exact refinement trace included. Both result surfaces (the mclgd
+// serving layer and the mclg CLI's local -windows path) go through here so
+// the schemas cannot drift.
+func WindowsFromStats(st *window.Stats) *WindowStats {
+	ws := &WindowStats{
+		Total:        st.Windows,
+		Solved:       st.Solved,
+		Resumed:      st.Resumed,
+		Retries:      st.Retries,
+		Panics:       st.Panics,
+		HedgesIssued: st.HedgesIssued,
+		HedgesWon:    st.HedgesWon,
+		Degraded:     st.Degraded,
+	}
+	if ex := st.Exact; ex != nil {
+		res := &ExactStats{
+			Selected: ex.Selected,
+			Improved: ex.Improved,
+			Proven:   ex.Proven,
+			Skipped:  ex.Skipped,
+			MaxGap:   ex.MaxGap,
+		}
+		for _, g := range ex.Gaps {
+			res.Gaps = append(res.Gaps, WindowGap{
+				Window:        g.Window,
+				Cells:         g.Cells,
+				Gap:           g.Gap,
+				Proven:        g.Proven,
+				Improved:      g.Improved,
+				MaxDispBefore: g.MaxDispBefore,
+				MaxDispAfter:  g.MaxDispAfter,
+			})
+		}
+		ws.Exact = res
+	}
+	return ws
 }
 
 // FromDesign measures the design's current placement into a Report. Solver

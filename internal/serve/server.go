@@ -76,6 +76,10 @@ type Config struct {
 	// HedgeQuantile is the server default straggler-hedging quantile for
 	// windowed jobs whose request leaves hedge unset; 0 disables hedging.
 	HedgeQuantile float64
+	// ExactWindows is the server default exact-refinement window count for
+	// windowed jobs whose request leaves exact unset; 0 disables the
+	// post-pass by default (requests can still opt in per job).
+	ExactWindows int
 	// JournalDir, when non-empty, enables the per-job write-ahead window
 	// journal: each windowed job fsyncs verified window results to
 	// JournalDir/<job-key>.wal and a restarted daemon replays completed
@@ -467,6 +471,9 @@ func (s *Server) handleLegalize(w http.ResponseWriter, r *http.Request) {
 		}
 		if req.Hedge == 0 {
 			req.Hedge = s.cfg.HedgeQuantile
+		}
+		if req.Exact == 0 {
+			req.Exact = s.cfg.ExactWindows
 		}
 	}
 

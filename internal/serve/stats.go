@@ -3,6 +3,7 @@ package serve
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -82,6 +83,11 @@ type serverStats struct {
 
 	windows sync.Map // event string -> *counter (windowed-run supervision)
 
+	// Exact refinement post-pass surface: outcome counters plus the worst
+	// measured optimality gap seen since start (atomic float64 bits).
+	exacts      sync.Map // event string -> *counter
+	exactMaxGap atomic.Uint64
+
 	audits sync.Map // result string ("pass" | "fail" | "error") -> *counter
 
 	stages sync.Map // stage string -> *histogram
@@ -105,6 +111,9 @@ func newServerStats() *serverStats {
 	}
 	for _, ev := range windowEvents {
 		s.windows.Store(ev, &counter{})
+	}
+	for _, ev := range exactEvents {
+		s.exacts.Store(ev, &counter{})
 	}
 	for _, st := range []string{"parse", "solve", "audit", "total", "eco_create", "eco_apply", "eco_commit"} {
 		s.stages.Store(st, newHistogram())
@@ -172,6 +181,40 @@ func (s *serverStats) windowDone(st *window.Stats) {
 	s.windowAdd("hedge_issued", st.HedgesIssued)
 	s.windowAdd("hedge_won", st.HedgesWon)
 	s.windowAdd("degraded", st.Degraded)
+	if st.Exact != nil {
+		s.exactDone(st.Exact)
+	}
+}
+
+// exactEvents are the pre-registered exact refinement post-pass series.
+var exactEvents = []string{"selected", "improved", "proven", "skipped"}
+
+// exactAdd bumps one exact post-pass event counter by n.
+func (s *serverStats) exactAdd(event string, n int) {
+	if n <= 0 {
+		return
+	}
+	c, _ := s.exacts.LoadOrStore(event, &counter{})
+	c.(*counter).add(uint64(n))
+}
+
+// exactDone folds one exact refinement post-pass into the registry.
+func (s *serverStats) exactDone(ex *window.ExactStats) {
+	s.exactAdd("selected", ex.Selected)
+	s.exactAdd("improved", ex.Improved)
+	s.exactAdd("proven", ex.Proven)
+	s.exactAdd("skipped", ex.Skipped)
+	// High-water max over the measured gaps: CAS so concurrent jobs never
+	// lose a larger observation.
+	for {
+		old := s.exactMaxGap.Load()
+		if ex.MaxGap <= math.Float64frombits(old) {
+			return
+		}
+		if s.exactMaxGap.CompareAndSwap(old, math.Float64bits(ex.MaxGap)) {
+			return
+		}
+	}
 }
 
 func (s *serverStats) observeStage(stage string, seconds float64) {
@@ -248,6 +291,17 @@ func (s *serverStats) writePrometheus(w io.Writer, cache *resultCache, warm *war
 		c, _ := s.windows.Load(ev)
 		fmt.Fprintf(w, "mclgd_windows_total{event=%q} %d\n", ev, c.(*counter).get())
 	}
+
+	fmt.Fprintf(w, "# HELP mclgd_exact_total Exact refinement post-pass outcomes (selected = windows re-solved by branch-and-bound; improved = checker-verified strict improvements committed; proven = windows proven optimal; skipped = solver could not finish).\n")
+	fmt.Fprintf(w, "# TYPE mclgd_exact_total counter\n")
+	for _, ev := range sortedKeys(&s.exacts) {
+		c, _ := s.exacts.Load(ev)
+		fmt.Fprintf(w, "mclgd_exact_total{event=%q} %d\n", ev, c.(*counter).get())
+	}
+
+	fmt.Fprintf(w, "# HELP mclgd_exact_max_gap Largest normalized optimality gap measured by any exact post-pass since start (0 = every refined window proven optimal).\n")
+	fmt.Fprintf(w, "# TYPE mclgd_exact_max_gap gauge\n")
+	fmt.Fprintf(w, "mclgd_exact_max_gap %g\n", math.Float64frombits(s.exactMaxGap.Load()))
 
 	fmt.Fprintf(w, "# HELP mclgd_eco_sessions Live ECO delta sessions.\n")
 	fmt.Fprintf(w, "# TYPE mclgd_eco_sessions gauge\n")

@@ -24,6 +24,7 @@ func (s *Server) solveWindowed(j *job, d *design.Design) (*report.Report, error)
 		Cascade:       core.ResilientOptions{Base: base},
 		WindowRows:    j.req.WindowRows,
 		HedgeQuantile: j.req.Hedge,
+		ExactWindows:  j.req.Exact,
 		Chaos:         s.cfg.Chaos,
 	}
 	if opts.WindowRows == 0 {
@@ -73,16 +74,7 @@ func (s *Server) solveWindowed(j *job, d *design.Design) (*report.Report, error)
 
 	s.stats.windowDone(st)
 	rep := report.FromDesign(d, j.req.Method, time.Since(t0))
-	rep.Windows = &report.WindowStats{
-		Total:        st.Windows,
-		Solved:       st.Solved,
-		Resumed:      st.Resumed,
-		Retries:      st.Retries,
-		Panics:       st.Panics,
-		HedgesIssued: st.HedgesIssued,
-		HedgesWon:    st.HedgesWon,
-		Degraded:     st.Degraded,
-	}
+	rep.Windows = report.WindowsFromStats(st)
 	rep.CapturePlacement(d)
 	return rep, nil
 }

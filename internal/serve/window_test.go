@@ -122,6 +122,8 @@ func TestWindowedRequestValidation(t *testing.T) {
 		"hedge sans windows":       `{"bench":"fft_2","hedge":0.5}`,
 		"negative window_rows":     `{"bench":"fft_2","windows":true,"window_rows":-1}`,
 		"hedge out of range":       `{"bench":"fft_2","windows":true,"hedge":1.5}`,
+		"exact sans windows":       `{"bench":"fft_2","exact":2}`,
+		"negative exact":           `{"bench":"fft_2","windows":true,"exact":-1}`,
 	} {
 		t.Run(name, func(t *testing.T) {
 			resp, err := http.Post(ts.URL+"/v1/legalize", "application/json", strings.NewReader(body))
@@ -144,7 +146,8 @@ func TestWindowedCacheKey(t *testing.T) {
 	windowed := &Request{Bench: "fft_2", Scale: 0.004, Windows: true, WindowRows: 4}
 	rows8 := &Request{Bench: "fft_2", Scale: 0.004, Windows: true, WindowRows: 8}
 	hedged := &Request{Bench: "fft_2", Scale: 0.004, Windows: true, WindowRows: 4, Hedge: 0.5}
-	for _, r := range []*Request{plain, windowed, rows8, hedged} {
+	exact := &Request{Bench: "fft_2", Scale: 0.004, Windows: true, WindowRows: 4, Exact: 2}
+	for _, r := range []*Request{plain, windowed, rows8, hedged, exact} {
 		if err := r.validate(); err != nil {
 			t.Fatal(err)
 		}
@@ -157,6 +160,60 @@ func TestWindowedCacheKey(t *testing.T) {
 	}
 	if windowed.key() != hedged.key() {
 		t.Error("hedge must not change the cache key (result-neutral)")
+	}
+	if windowed.key() == exact.key() {
+		t.Error("exact must change the cache key (verified improvements commit)")
+	}
+}
+
+// TestExactWindowedJob drives the exact refinement post-pass through the full
+// HTTP surface: the response's window stats carry the per-window gap trace
+// and the mclgd_exact_* series reach /metrics.
+func TestExactWindowedJob(t *testing.T) {
+	if testing.Short() {
+		t.Skip("solves a benchmark")
+	}
+	_, ts := newTestServer(t, Config{})
+	req := &Request{Bench: "fft_2", Scale: 0.004, Windows: true, WindowRows: 4, Exact: 2}
+
+	var rep report.Report
+	if resp := post(t, ts.URL, req, &rep); resp.StatusCode != http.StatusOK {
+		t.Fatalf("HTTP %d", resp.StatusCode)
+	}
+	if !rep.Legal {
+		t.Fatal("exact-refined placement not legal")
+	}
+	if rep.Windows == nil || rep.Windows.Exact == nil {
+		t.Fatalf("response carries no exact stats: %+v", rep.Windows)
+	}
+	ex := rep.Windows.Exact
+	if ex.Selected == 0 || ex.Selected > 2 {
+		t.Errorf("selected %d windows, want 1..2", ex.Selected)
+	}
+	if len(ex.Gaps) != ex.Selected-ex.Skipped {
+		t.Errorf("%d gap entries for %d finished windows", len(ex.Gaps), ex.Selected-ex.Skipped)
+	}
+	for _, g := range ex.Gaps {
+		if g.Gap < 0 || g.Gap > 1 {
+			t.Errorf("window %d gap %g outside [0, 1]", g.Window, g.Gap)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	body := string(raw)
+	if !strings.Contains(body, `mclgd_exact_total{event="selected"} `+strconv.Itoa(ex.Selected)) {
+		t.Errorf("/metrics missing exact selected counter (stats %+v)", ex)
+	}
+	if !strings.Contains(body, `mclgd_exact_total{event="proven"} `+strconv.Itoa(ex.Proven)) {
+		t.Errorf("/metrics missing exact proven counter (stats %+v)", ex)
+	}
+	if !strings.Contains(body, "mclgd_exact_max_gap ") {
+		t.Error("/metrics missing mclgd_exact_max_gap gauge")
 	}
 }
 

@@ -1,10 +1,12 @@
 package tetris
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
 	"mclg/internal/design"
+	"mclg/internal/mclgerr"
 )
 
 // density returns movable cell area over core area, in site units.
@@ -137,5 +139,38 @@ func TestAllocateAdversarialAroundBlockage(t *testing.T) {
 	}
 	if rep := design.CheckLegal(d); !rep.Legal() {
 		t.Fatalf("illegal: %v", rep)
+	}
+}
+
+// TestAllocateFullyBlockedBandErrors pins the silent-infeasible fix: when
+// fixed cells blanket every row, a movable cell has no candidate site in any
+// fallback rung. Before the fix the allocator returned a nil error with
+// Unplaced > 0 and the cell parked at a garbage (overlapping) position;
+// callers then committed it. The contract now is a typed
+// mclgerr.ErrUnplacedCells error so no caller can miss it.
+func TestAllocateFullyBlockedBandErrors(t *testing.T) {
+	d := mkDesign(3, 30)
+	for r := 0; r < 3; r++ {
+		f := d.AddCell("blk", 30, 10, design.VSS)
+		f.Fixed = true
+		f.X, f.Y = 0, d.RowY(r)
+	}
+	c := d.AddCell("c", 4, 10, design.VSS)
+	c.X, c.Y = 10, 0
+	c.GX, c.GY = 10, 0
+
+	res, err := Allocate(d)
+	if err == nil {
+		t.Fatal("expected an error for a fully blocked row band, got nil")
+	}
+	if !errors.Is(err, mclgerr.ErrUnplacedCells) {
+		t.Fatalf("err = %v, want mclgerr.ErrUnplacedCells", err)
+	}
+	if res == nil || res.Unplaced == 0 {
+		t.Fatalf("res = %+v, want Unplaced > 0 alongside the error", res)
+	}
+	// The error classifies for retry/reporting machinery.
+	if got := mclgerr.Class(err); got != "unplaced_cells" {
+		t.Errorf("Class(err) = %q, want %q", got, "unplaced_cells")
 	}
 }

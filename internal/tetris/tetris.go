@@ -11,6 +11,7 @@ package tetris
 
 import (
 	"context"
+	"fmt"
 	"math"
 	"sort"
 
@@ -211,6 +212,17 @@ func AllocateContextP(ctx context.Context, d *design.Design, workers int) (*Resu
 		}
 		if err := mclgerr.FromContext(ctx); err != nil {
 			return nil, err
+		}
+	}
+	if res.Unplaced > 0 {
+		// Every fallback rung failed for at least one cell. The design still
+		// holds those cells at whatever position the last rebuild left them
+		// — possibly overlapping — so a nil error here would let callers
+		// commit a garbage placement. Surface it as a typed error instead.
+		return res, &mclgerr.StageError{
+			Stage:  "tetris",
+			Err:    mclgerr.ErrUnplacedCells,
+			Detail: fmt.Sprintf("%d cells have no candidate site after all fallbacks", res.Unplaced),
 		}
 	}
 	return res, nil

@@ -76,6 +76,22 @@ type Options struct {
 	// Journal, when non-nil, records every verified window result and
 	// replays previously recorded windows instead of re-solving them.
 	Journal Journal
+
+	// ExactWindows, when positive, enables the exact refinement post-pass:
+	// after stitch, the ExactWindows windows with the worst committed max
+	// displacement are re-solved with the branch-and-bound legalizer
+	// (internal/exact) and each window's measured optimality gap is recorded
+	// in Stats.Exact. Only checker-verified strict improvements commit. The
+	// pass is serial and node-budgeted, so the final placement stays
+	// bit-identical for any worker count.
+	ExactWindows int
+	// ExactMaxCells caps how many cells are re-solved jointly per selected
+	// window; in windows owning more, the worst-displaced ExactMaxCells
+	// cells move and the rest freeze. 0 means 40.
+	ExactMaxCells int
+	// ExactNodeBudget bounds the branch-and-bound nodes per window — the
+	// deterministic analogue of a deadline. 0 means 4000.
+	ExactNodeBudget int
 }
 
 func (o Options) withDefaults() Options {
@@ -97,6 +113,12 @@ func (o Options) withDefaults() Options {
 	if o.RetryBackoff == 0 {
 		o.RetryBackoff = 5 * time.Millisecond
 	}
+	if o.ExactMaxCells == 0 {
+		o.ExactMaxCells = 40
+	}
+	if o.ExactNodeBudget == 0 {
+		o.ExactNodeBudget = 4000
+	}
 	return o
 }
 
@@ -111,6 +133,9 @@ type Stats struct {
 	HedgesIssued int
 	HedgesWon    int
 	Degraded     int
+	// Exact reports the exact refinement post-pass; nil unless
+	// Options.ExactWindows enabled it.
+	Exact *ExactStats
 }
 
 // supervisor drives one windowed run.
@@ -223,6 +248,13 @@ func Legalize(ctx context.Context, d *design.Design, opts Options) (*Stats, erro
 	}
 	if err := stitch(ctx, d, results, opts.Cascade.Base.Workers); err != nil {
 		return nil, err
+	}
+	if opts.ExactWindows > 0 {
+		ex, err := refineExact(ctx, d, plan, opts)
+		if err != nil {
+			return nil, err
+		}
+		s.stats.Exact = ex
 	}
 	st := s.stats
 	return &st, nil
